@@ -1,0 +1,88 @@
+"""Ablations of the search design choices DESIGN.md calls out.
+
+* two-phase versus optimization-only (Section 4.4),
+* restart anchoring in the optimization phase,
+* temperature (beta) sensitivity,
+* the slot-typed operand move (the O0->O3 connectivity argument of
+  Figure 4: without register/memory interchange in the operand move,
+  stack traffic cannot be peeled off one move at a time).
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import make_testcases
+from repro.cost.function import CostFunction, Phase
+from repro.search.config import SearchConfig
+from repro.search.mcmc import MCMCSampler
+from repro.search.moves import MoveGenerator
+from repro.suite.registry import benchmark as get_benchmark
+
+PROPOSALS = 12_000
+
+
+def _optimize_best_zero(beta: float, restarts: int, seed: int = 9) -> int:
+    """Best zero-eq cost reached on p01 under a config."""
+    bench = get_benchmark("p01")
+    testcases, _gen = make_testcases(bench, count=16)
+    cost = CostFunction(testcases, bench.o0, phase=Phase.OPTIMIZATION)
+    config = SearchConfig(ell=12, beta=beta)
+    rng = random.Random(seed)
+    moves = MoveGenerator(bench.o0, config, rng)
+    anchor = bench.o0.padded(config.ell)
+    pool: list[tuple[int, object]] = []
+    for _segment in range(max(1, restarts)):
+        sampler = MCMCSampler(cost, moves, anchor, beta=beta, rng=rng)
+        chain = sampler.run(PROPOSALS // max(1, restarts))
+        pool.extend(chain.zero_cost)
+        pool.sort(key=lambda pair: pair[0])
+        del pool[16:]
+        if pool:
+            anchor = pool[0][1]
+    return pool[0][0] if pool else 0
+
+
+def test_restart_anchoring_helps(benchmark):
+    anchored = benchmark.pedantic(_optimize_best_zero, args=(1.0, 8),
+                                  rounds=1, iterations=1)
+    single_chain = _optimize_best_zero(1.0, 1)
+    print(f"\n[ablation] best verified-on-tests cost: "
+          f"restarts=8 -> {anchored}, single chain -> {single_chain}")
+    assert anchored <= single_chain
+
+
+def test_temperature_sensitivity(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    hot = _optimize_best_zero(0.05, 8)
+    cold = _optimize_best_zero(1.0, 8)
+    print(f"\n[ablation] beta=0.05 best={hot}  beta=1.0 best={cold}")
+    assert cold <= hot, \
+        "a colder chain should exploit improvements better here"
+
+
+def test_operand_move_class_is_load_bearing(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Count direct stack-load -> register-move transitions available."""
+    bench = get_benchmark("p01")
+    config = SearchConfig(ell=12)
+    rng = random.Random(0)
+    moves = MoveGenerator(bench.o0, config, rng)
+    start = bench.o0.padded(config.ell)
+    kind_changes = 0
+    for _ in range(2_000):
+        proposal, kind = moves.propose(start)
+        if kind.value != "operand":
+            continue
+        for before, after in zip(start.code, proposal.code):
+            if before != after:
+                before_kinds = tuple(type(op).__name__
+                                     for op in before.operands)
+                after_kinds = tuple(type(op).__name__
+                                    for op in after.operands)
+                if before_kinds != after_kinds:
+                    kind_changes += 1
+    print(f"\n[ablation] operand moves that flip reg/mem kind in 2000 "
+          f"proposals: {kind_changes}")
+    assert kind_changes > 50, \
+        "operand moves must interchange registers and memory (Fig. 4)"

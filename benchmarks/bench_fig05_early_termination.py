@@ -1,0 +1,69 @@
+"""Figure 5: the optimized acceptance computation (Section 4.5).
+
+The paper shows that terminating testcase evaluation as soon as the
+Eq. 14 bound is exceeded cuts testcases-per-proposal as the chain's
+cost falls, raising proposal throughput ~3x during synthesis. This
+bench runs the same chain with early termination on and off and
+reports both series.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import make_testcases
+from repro.cost.function import CostFunction, Phase
+from repro.search.config import SearchConfig
+from repro.search.mcmc import MCMCSampler
+from repro.search.moves import MoveGenerator
+from repro.suite.registry import benchmark as get_benchmark
+
+PROPOSALS = 6_000
+
+
+def _run_chain(early: bool):
+    bench = get_benchmark("p01")
+    testcases, _gen = make_testcases(bench, count=16)
+    cost = CostFunction(testcases, bench.o0, phase=Phase.SYNTHESIS)
+    config = SearchConfig(ell=10, beta=0.2)
+    rng = random.Random(11)
+    moves = MoveGenerator(bench.o0, config, rng)
+    sampler = MCMCSampler(cost, moves, moves.random_program(),
+                          beta=config.beta, rng=rng,
+                          early_termination=early)
+    return sampler.run(PROPOSALS)
+
+
+def test_early_termination_throughput(benchmark):
+    chain = benchmark.pedantic(_run_chain, args=(True,),
+                               rounds=1, iterations=1)
+    with_early = chain.stats
+    without = _run_chain(False).stats
+    print(f"\n[fig5] early-termination ON : "
+          f"{with_early.proposals_per_second:,.0f} proposals/s, "
+          f"{with_early.testcases_per_proposal:.2f} testcases/proposal")
+    print(f"[fig5] early-termination OFF: "
+          f"{without.proposals_per_second:,.0f} proposals/s, "
+          f"{without.testcases_per_proposal:.2f} testcases/proposal")
+    speedup = (with_early.proposals_per_second /
+               without.proposals_per_second)
+    print(f"[fig5] throughput improvement: {speedup:.2f}x "
+          f"(paper: ~3x at synthesis convergence)")
+    assert with_early.testcases_per_proposal < \
+        without.testcases_per_proposal
+    assert speedup > 1.2
+
+
+def test_testcases_per_proposal_falls_as_cost_falls(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The Figure 5 time series: the two curves move together."""
+    chain = _run_chain(True)
+    trace = chain.stats.testcases_trace
+    assert len(trace) > 10
+    first_quarter = [rate for step, rate in trace[: len(trace) // 4]]
+    last_quarter = [rate for step, rate in trace[-len(trace) // 4:]]
+    early_avg = sum(first_quarter) / len(first_quarter)
+    late_avg = sum(last_quarter) / len(last_quarter)
+    print(f"\n[fig5] testcases/proposal: first quarter {early_avg:.2f} "
+          f"-> last quarter {late_avg:.2f}")
+    assert late_avg <= early_avg + 0.5

@@ -1,0 +1,66 @@
+"""Figure 15: the linked-list traversal limitation.
+
+STOKE optimizes only the loop-free inner fragment, so it cannot hoist
+the head pointer out of the loop the way gcc -O3 does; its rewrite
+keeps the per-iteration stack round-trip and ends up slower. This
+bench reproduces the ordering and measures fragment execution in the
+emulator (one simulated loop iteration per run).
+"""
+
+from __future__ import annotations
+
+from repro.emulator.cpu import Emulator
+from repro.emulator.sandbox import Sandbox
+from repro.emulator.state import MachineState
+from repro.perfsim.model import actual_runtime
+from repro.suite.registry import benchmark as get_benchmark
+
+NODE = 0x2000_0000
+STACK = 0x7FFF_0000
+
+
+def _fragment_state() -> MachineState:
+    """head pointer on the stack; one list node in memory."""
+    state = MachineState()
+    state.set_reg("rsp", STACK)
+    state.set_reg("rdi", NODE)
+    state.set_mem_value(STACK - 8, 8, NODE)       # head spilled at -8(rsp)
+    state.set_mem_value(NODE, 4, 21)              # node->val
+    state.set_mem_value(NODE + 8, 8, NODE + 64)   # node->next
+    return state
+
+
+def test_fragment_semantics(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    bench = get_benchmark("list")
+    state = _fragment_state()
+    Emulator(state, Sandbox.recorder()).run(bench.o0)
+    assert state.get_mem_value(NODE, 4) == 42, "val must be doubled"
+    assert state.get_reg("rdi") == NODE + 64, "head must advance"
+    assert state.get_mem_value(STACK - 8, 8) == NODE + 64, \
+        "O0 fragment writes the head back to the stack"
+
+
+def test_gcc_beats_stoke_on_list(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    bench = get_benchmark("list")
+    o0 = actual_runtime(bench.o0.compact())
+    gcc = actual_runtime(bench.gcc.compact())
+    stoke = actual_runtime(bench.paper_stoke.compact())
+    print(f"\n[fig15] per-iteration cycles: o0={o0} gcc={gcc} "
+          f"stoke={stoke} (paper: STOKE slower than gcc -O3)")
+    assert gcc < stoke
+    assert stoke == o0
+
+
+def test_fragment_execution_throughput(benchmark):
+    bench = get_benchmark("list")
+    prog = bench.o0
+
+    def run_iteration():
+        state = _fragment_state()
+        Emulator(state, Sandbox.recorder()).run(prog)
+        return state
+
+    state = benchmark(run_iteration)
+    assert state.get_mem_value(NODE, 4) == 42

@@ -1,0 +1,29 @@
+"""Shared fixtures for the figure-regeneration benches.
+
+Each bench file regenerates one table or figure from the paper's
+evaluation section. Budgets are laptop-sized by default; set
+``REPRO_BUDGET=medium`` or ``full`` to scale the searches up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.suite.registry import benchmark
+from repro.testgen.generator import TestcaseGenerator
+
+
+@pytest.fixture(scope="session")
+def mont_bench():
+    return benchmark("mont")
+
+
+@pytest.fixture(scope="session")
+def p01_bench():
+    return benchmark("p01")
+
+
+def make_testcases(bench, count: int = 16, seed: int = 0):
+    generator = TestcaseGenerator(bench.o0, bench.spec,
+                                  bench.annotations, seed=seed)
+    return generator.generate(count), generator

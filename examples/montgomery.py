@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The paper's headline example: Montgomery multiplication (Figure 1).
+
+Demonstrates the three pillars of the reproduction on the mont kernel:
+
+1. the emulator executes the paper's gcc -O3 listing and STOKE's
+   11-instruction rewrite and both match the arithmetic reference;
+2. the sound validator *proves* the STOKE rewrite equivalent to the
+   llvm -O0 style target (with 64-bit multiplication treated as an
+   uninterpreted function, exactly as in Section 5.2);
+3. the performance model shows the same ordering the paper measures:
+   STOKE beats gcc -O3, which beats llvm -O0.
+
+Run:  python examples/montgomery.py
+"""
+
+import random
+
+from repro import MachineState, Validator, actual_runtime, run_program
+from repro.suite import benchmark
+from repro.suite.kernels import mont_ref
+
+
+def check_emulation(bench, rng: random.Random) -> None:
+    for _ in range(100):
+        vals = {
+            "rsi": rng.getrandbits(64), "ecx": rng.getrandbits(32),
+            "edx": rng.getrandbits(32), "rdi": rng.getrandbits(64),
+            "r8": rng.getrandbits(64),
+        }
+        lo, hi = mont_ref(vals["rsi"], vals["ecx"], vals["edx"],
+                          vals["rdi"], vals["r8"])
+        for name in ("o0", "gcc", "paper_stoke"):
+            prog = getattr(bench, name)
+            state = MachineState()
+            state.set_reg("rsp", 0x7FFF0000)
+            for reg, value in vals.items():
+                state.set_reg(reg, value)
+            run_program(prog, state)
+            assert state.get_reg("rdi") == lo and \
+                state.get_reg("r8") == hi, name
+    print("emulation: o0 / gcc / STOKE listings all compute "
+          "c1:c0 = np*(mh:ml) + c0 + c1 on 100 random inputs")
+
+
+def main() -> None:
+    bench = benchmark("mont")
+    rng = random.Random(1)
+    check_emulation(bench, rng)
+
+    stoke_rewrite = bench.paper_stoke
+    assert stoke_rewrite is not None
+    print("\nvalidating STOKE's Figure 1 rewrite against the O0 target "
+          "(64-bit mul as an uninterpreted function)...")
+    outcome = Validator().validate(bench.o0, stoke_rewrite, bench.spec)
+    print(f"equivalent: {outcome.equivalent} "
+          f"({outcome.num_clauses} CNF clauses, {outcome.seconds:.1f}s)")
+
+    o0 = actual_runtime(bench.o0.compact())
+    gcc = actual_runtime(bench.gcc.compact())
+    stoke = actual_runtime(stoke_rewrite.compact())
+    print(f"\nmodeled cycles:  llvm -O0 = {o0},  gcc -O3 = {gcc},  "
+          f"STOKE = {stoke}")
+    print(f"speedups over -O0:  gcc {o0/gcc:.2f}x,  STOKE {o0/stoke:.2f}x"
+          f"  (paper: STOKE ~1.6x over gcc; here {gcc/stoke:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

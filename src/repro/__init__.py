@@ -1,0 +1,42 @@
+"""repro — a reproduction of "Stochastic Superoptimization" (ASPLOS 2013).
+
+The package implements STOKE end to end in pure Python: an x86-64
+subset ISA with a sandboxed emulator, a bit-vector SMT stack with a
+CDCL SAT solver backing a sound equivalence validator, MCMC search with
+the paper's cost functions and move types, a micro-op performance
+model, a mini compiler standing in for llvm -O0 / gcc -O3 / icc -O3,
+and the paper's full benchmark suite.
+
+Quickstart::
+
+    from repro import Stoke, SearchConfig
+    from repro.suite import benchmark
+
+    bench = benchmark("p01")
+    stoke = Stoke(bench.o0, bench.spec, bench.annotations,
+                  config=SearchConfig(ell=12, beta=1.0,
+                                      optimization_proposals=20_000))
+    result = stoke.run()
+    print(result.rewrite, result.speedup)
+"""
+
+from repro.cost import CostFunction, CostWeights, Phase
+from repro.emulator import Emulator, MachineState, Sandbox, run_program
+from repro.perfsim import actual_runtime, simulate_cycles
+from repro.search import (MCMCSampler, MoveGenerator, SearchConfig, Stoke,
+                          StokeResult)
+from repro.testgen import Annotations, Testcase, TestcaseGenerator
+from repro.verifier import LiveSpec, ValidationResult, Validator
+from repro.x86 import (Instruction, Program, UNUSED, parse_instruction,
+                       parse_program, program_latency)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Annotations", "CostFunction", "CostWeights", "Emulator",
+    "Instruction", "LiveSpec", "MCMCSampler", "MachineState",
+    "MoveGenerator", "Phase", "Program", "Sandbox", "SearchConfig",
+    "Stoke", "StokeResult", "Testcase", "TestcaseGenerator", "UNUSED",
+    "ValidationResult", "Validator", "actual_runtime", "parse_instruction",
+    "parse_program", "program_latency", "run_program", "simulate_cycles",
+]

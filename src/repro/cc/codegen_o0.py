@@ -1,0 +1,219 @@
+"""The ``llvm -O0`` substitute: naive stack-machine code generation.
+
+Every temp lives in a stack slot; every operation loads its operands
+from the stack into scratch registers, operates, and stores the result
+back. This reproduces the structure the paper's targets have — heavy
+stack traffic and one instruction per IR operation — which is exactly
+the local inefficiency a hill-climbing search peels away (Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.cc.ast import BinOp, Function, UnOp
+from repro.cc.ir import (IRBinary, IRCast, IRCompare, IRConst, IRFunction,
+                         IRInstr, IRLoad, IRMove, IRMulWide, IRSelect,
+                         IRStore, IRUnary)
+from repro.cc.lower import lower_function
+from repro.errors import CompileError
+from repro.x86.parser import parse_instruction
+from repro.x86.program import Program
+from repro.x86.registers import view
+
+_SFX = {32: "l", 64: "q"}
+
+_BIN_MNEMONIC = {
+    BinOp.ADD: "add", BinOp.SUB: "sub", BinOp.AND: "and",
+    BinOp.OR: "or", BinOp.XOR: "xor", BinOp.MUL: "imul",
+    BinOp.SHL: "shl", BinOp.SHR_U: "shr", BinOp.SHR_S: "sar",
+}
+
+
+class _O0Emitter:
+    """Emits text lines, then parses them into a Program."""
+
+    def __init__(self, ir: IRFunction) -> None:
+        self.ir = ir
+        self.lines: list[str] = []
+        self.slots: dict[str, int] = {}
+
+    def emit(self, line: str) -> None:
+        self.lines.append(line)
+
+    def slot(self, temp: str) -> str:
+        offset = self.slots.get(temp)
+        if offset is None:
+            offset = -8 * (len(self.slots) + 1)
+            self.slots[temp] = offset
+        return f"{offset}(rsp)"
+
+    def _reg(self, full: str, width: int) -> str:
+        return view(full, width).name
+
+    def load(self, temp: str, full: str) -> str:
+        """Load a temp's slot into a scratch register; returns the view."""
+        width = self.ir.temp_widths[temp]
+        reg = self._reg(full, width)
+        self.emit(f"mov{_SFX[width]} {self.slot(temp)}, {reg}")
+        return reg
+
+    def store(self, temp: str, full: str) -> None:
+        width = self.ir.temp_widths[temp]
+        reg = self._reg(full, width)
+        self.emit(f"mov{_SFX[width]} {reg}, {self.slot(temp)}")
+
+    # -- program assembly --------------------------------------------------------
+
+    def run(self) -> Program:
+        for name, temp in self.ir.param_temps.items():
+            width = self.ir.temp_widths[temp]
+            reg = self.ir_param_reg(name)
+            self.emit(f"mov{_SFX[width]} {reg}, {self.slot(temp)}")
+        for instr in self.ir.body:
+            self._emit_instr(instr)
+        for out_reg, temp in self.ir.output_temps.items():
+            width = self.ir.temp_widths[temp]
+            self.emit(f"mov{_SFX[width]} {self.slot(temp)}, {out_reg}")
+        text = "\n".join(self.lines)
+        return Program(tuple(parse_instruction(line)
+                             for line in self.lines))
+
+    def ir_param_reg(self, name: str) -> str:
+        for param in self._params():
+            if param.name == name:
+                return param.reg
+        raise CompileError(f"unknown parameter {name!r}")
+
+    def _params(self):
+        return self._fn_params
+
+    # -- per-IR emission -----------------------------------------------------------
+
+    def _emit_instr(self, instr: IRInstr) -> None:
+        if isinstance(instr, IRConst):
+            self._emit_const(instr)
+        elif isinstance(instr, IRMove):
+            self.load(instr.src, "rax")
+            self.store(instr.dst, "rax")
+        elif isinstance(instr, IRBinary):
+            self._emit_binary(instr)
+        elif isinstance(instr, IRUnary):
+            reg = self.load(instr.src, "rax")
+            mnem = "not" if instr.op is UnOp.NOT else "neg"
+            self.emit(f"{mnem}{_SFX[instr.width]} {reg}")
+            self.store(instr.dst, "rax")
+        elif isinstance(instr, IRCompare):
+            self._emit_compare(instr)
+        elif isinstance(instr, IRSelect):
+            self._emit_select(instr)
+        elif isinstance(instr, IRCast):
+            self._emit_cast(instr)
+        elif isinstance(instr, IRLoad):
+            self._emit_load(instr)
+        elif isinstance(instr, IRStore):
+            self._emit_store(instr)
+        elif isinstance(instr, IRMulWide):
+            self.load(instr.left, "rax")
+            right = self.load(instr.right, "rcx")
+            self.emit(f"mul{_SFX[instr.width]} {right}")
+            self.store(instr.dst_lo, "rax")
+            self.store(instr.dst_hi, "rdx")
+        else:
+            raise CompileError(f"cannot emit {instr!r}")
+
+    def _emit_const(self, instr: IRConst) -> None:
+        value = instr.value & ((1 << instr.width) - 1)
+        reg = self._reg("rax", instr.width)
+        if instr.width == 64 and value > 0x7FFFFFFF:
+            self.emit(f"movabsq {value}, rax")
+        else:
+            self.emit(f"mov{_SFX[instr.width]} {value}, {reg}")
+        self.store(instr.dst, "rax")
+
+    def _emit_binary(self, instr: IRBinary) -> None:
+        sfx = _SFX[instr.width]
+        if instr.op is BinOp.DIV_U:
+            self.load(instr.left, "rax")
+            right = self.load(instr.right, "rcx")
+            self.emit("xorl edx, edx")
+            self.emit(f"div{sfx} {right}")
+            self.store(instr.dst, "rax")
+            return
+        left = self.load(instr.left, "rax")
+        if instr.op in (BinOp.SHL, BinOp.SHR_U, BinOp.SHR_S):
+            self.load(instr.right, "rcx")
+            mnem = _BIN_MNEMONIC[instr.op]
+            self.emit(f"{mnem}{sfx} cl, {left}")
+        else:
+            right = self.load(instr.right, "rcx")
+            mnem = _BIN_MNEMONIC[instr.op]
+            self.emit(f"{mnem}{sfx} {right}, {left}")
+        self.store(instr.dst, "rax")
+
+    def _emit_compare(self, instr: IRCompare) -> None:
+        sfx = _SFX[instr.width]
+        left = self.load(instr.left, "rax")
+        right = self.load(instr.right, "rcx")
+        self.emit(f"cmp{sfx} {right}, {left}")
+        self.emit(f"set{instr.cc} dl")
+        if instr.width == 64:
+            self.emit("movzbq dl, rdx")
+        else:
+            self.emit("movzbl dl, edx")
+        self.store(instr.dst, "rdx")
+
+    def _emit_select(self, instr: IRSelect) -> None:
+        sfx = _SFX[instr.width]
+        cond = self.load(instr.cond, "rax")
+        then = self.load(instr.then, "rcx")
+        other = self.load(instr.otherwise, "rdx")
+        self.emit(f"test{sfx} {cond}, {cond}")
+        self.emit(f"cmovne{sfx} {then}, {other}")
+        self.store(instr.dst, "rdx")
+
+    def _emit_cast(self, instr: IRCast) -> None:
+        if instr.from_width == 32 and instr.to_width == 64:
+            if instr.signed:
+                self.emit(f"movl {self.slot(instr.src)}, eax")
+                self.emit("movslq eax, rax")
+            else:
+                self.emit(f"movl {self.slot(instr.src)}, eax")
+            self.store(instr.dst, "rax")
+        elif instr.from_width == 64 and instr.to_width == 32:
+            self.emit(f"movq {self.slot(instr.src)}, rax")
+            self.store(instr.dst, "rax")
+        elif instr.from_width == instr.to_width:
+            self.load(instr.src, "rax")
+            self.store(instr.dst, "rax")
+        else:
+            raise CompileError(
+                f"unsupported cast {instr.from_width}->{instr.to_width}")
+
+    def _emit_load(self, instr: IRLoad) -> None:
+        self.emit(f"movq {self.slot(instr.base)}, rax")
+        mem = self._mem_operand(instr.index, instr.scale, instr.disp)
+        reg = self._reg("rdx", instr.width)
+        self.emit(f"mov{_SFX[instr.width]} {mem}, {reg}")
+        self.store(instr.dst, "rdx")
+
+    def _emit_store(self, instr: IRStore) -> None:
+        value = self.load(instr.src, "rdx")
+        self.emit(f"movq {self.slot(instr.base)}, rax")
+        mem = self._mem_operand(instr.index, instr.scale, instr.disp)
+        self.emit(f"mov{_SFX[instr.width]} {value}, {mem}")
+
+    def _mem_operand(self, index: str | None, scale: int,
+                     disp: int) -> str:
+        if index is not None:
+            self.emit(f"movq {self.slot(index)}, rcx")
+            inner = f"(rax,rcx,{scale})"
+        else:
+            inner = "(rax)"
+        return f"{disp}{inner}" if disp else inner
+
+
+def compile_o0(fn: Function) -> Program:
+    """Compile a kernel the way ``llvm -O0`` would."""
+    ir = lower_function(fn)
+    emitter = _O0Emitter(ir)
+    emitter._fn_params = fn.params       # bound late to keep emitter lean
+    return emitter.run()

@@ -1,0 +1,370 @@
+"""The ``gcc -O3`` / ``icc -O3`` substitutes: optimizing code generation.
+
+IR is optimized (constant folding, copy propagation, strength
+reduction, DCE) and then emitted with a linear-scan register allocator:
+no stack traffic, immediate operands where x86 allows them, cmov for
+selects. The ``icc`` flavor disables strength reduction and copy
+propagation — mirroring the paper's observation (Section 6.3) that icc
+missed the multiply-to-shift reduction gcc found.
+
+rax/rcx/rdx are reserved as scratch (widening multiply, division,
+shift counts, setcc), which keeps the allocator trivially correct.
+"""
+
+from __future__ import annotations
+
+from repro.cc.ast import BinOp, Function, UnOp
+from repro.cc.ir import (IRBinary, IRCast, IRCompare, IRConst, IRFunction,
+                         IRInstr, IRLoad, IRMove, IRMulWide, IRSelect,
+                         IRStore, IRUnary)
+from repro.cc.lower import lower_function
+from repro.cc.passes import constant_values, optimize
+from repro.errors import CompileError
+from repro.x86.parser import parse_instruction
+from repro.x86.program import Program
+from repro.x86.registers import lookup, view
+
+_SFX = {32: "l", 64: "q"}
+_POOL = ("rsi", "rdi", "r8", "r9", "r10", "r11", "rbx",
+         "r12", "r13", "r14", "r15")
+_SCRATCH = frozenset({"rax", "rcx", "rdx"})
+
+_BIN_MNEMONIC = {
+    BinOp.ADD: "add", BinOp.SUB: "sub", BinOp.AND: "and",
+    BinOp.OR: "or", BinOp.XOR: "xor", BinOp.MUL: "imul",
+    BinOp.SHL: "shl", BinOp.SHR_U: "shr", BinOp.SHR_S: "sar",
+}
+
+
+class _Allocator:
+    """Linear-scan allocation of temps to full registers."""
+
+    def __init__(self, ir: IRFunction, param_regs: dict[str, str]) -> None:
+        self.ir = ir
+        self.assignment: dict[str, str] = {}
+        self.free: list[str] = [r for r in _POOL
+                                if r not in param_regs.values()]
+        self.last_use = self._last_uses()
+        self.moves_needed: list[tuple[str, str, int]] = []
+        for temp, reg in param_regs.items():
+            if reg in _SCRATCH or reg not in _POOL:
+                # evacuate params that arrive in scratch registers
+                if not self.free:
+                    raise CompileError("register pressure too high")
+                home = self.free.pop(0)
+                width = ir.temp_widths[temp]
+                self.moves_needed.append((reg, home, width))
+                self.assignment[temp] = home
+            else:
+                self.assignment[temp] = reg
+                if reg in self.free:
+                    self.free.remove(reg)
+
+    def _last_uses(self) -> dict[str, int]:
+        last: dict[str, int] = {}
+        for i, instr in enumerate(self.ir.body):
+            for temp in instr.uses():
+                last[temp] = i
+        end = len(self.ir.body)
+        for temp in self.ir.output_temps.values():
+            last[temp] = end
+        return last
+
+    def reg_of(self, temp: str) -> str:
+        try:
+            return self.assignment[temp]
+        except KeyError:
+            raise CompileError(f"temp {temp!r} used before defined") \
+                from None
+
+    def allocate(self, temp: str) -> str:
+        if temp in self.assignment:
+            return self.assignment[temp]
+        if not self.free:
+            raise CompileError("register pressure too high; "
+                               "kernel needs spilling")
+        reg = self.free.pop(0)
+        self.assignment[temp] = reg
+        return reg
+
+    def release_dead(self, index: int) -> None:
+        for temp, reg in list(self.assignment.items()):
+            if self.last_use.get(temp, -1) <= index:
+                del self.assignment[temp]
+                if reg in _POOL and reg not in self.free:
+                    self.free.append(reg)
+
+
+class _OptEmitter:
+    def __init__(self, ir: IRFunction, fn: Function) -> None:
+        self.ir = ir
+        self.fn = fn
+        self.lines: list[str] = []
+        self.consts = constant_values(ir)
+        param_regs = {}
+        for param in fn.params:
+            temp = ir.param_temps.get(param.name)
+            if temp is not None:
+                param_regs[temp] = _full(param.reg)
+        self.alloc = _Allocator(ir, param_regs)
+
+    def emit(self, line: str) -> None:
+        self.lines.append(line)
+
+    def _view(self, full: str, width: int) -> str:
+        return view(full, width).name
+
+    def reg(self, temp: str, width: int | None = None) -> str:
+        width = width or self.ir.temp_widths[temp]
+        return self._view(self.alloc.reg_of(temp), width)
+
+    def dst(self, temp: str, width: int | None = None) -> str:
+        width = width or self.ir.temp_widths[temp]
+        return self._view(self.alloc.allocate(temp), width)
+
+    def imm_or_reg(self, temp: str, width: int) -> str:
+        value = self.consts.get(temp)
+        if value is not None and self.alloc.assignment.get(temp) is None:
+            signed = value if value < (1 << 31) else value - (1 << width)
+            if -(1 << 31) <= signed < (1 << 31):
+                return str(signed)
+        return self.reg(temp, width)
+
+    # -- program assembly ------------------------------------------------------------
+
+    def run(self) -> Program:
+        for src_reg, home, width in self.alloc.moves_needed:
+            self.emit(f"mov{_SFX[width]} {self._view_name(src_reg, width)},"
+                      f" {self._view(home, width)}")
+        for index, instr in enumerate(self.ir.body):
+            self._emit_instr(instr, index)
+            self.alloc.release_dead(index)
+        self._emit_outputs()
+        return Program(tuple(parse_instruction(line)
+                             for line in self.lines))
+
+    def _view_name(self, reg_name: str, width: int) -> str:
+        return self._view(_full(reg_name), width)
+
+    def _emit_outputs(self) -> None:
+        """Parallel move of result temps into their output registers."""
+        pending: list[tuple[str, str, int]] = []
+        for out_reg, temp in self.ir.output_temps.items():
+            width = self.ir.temp_widths[temp]
+            value = self.consts.get(temp)
+            if value is not None and temp not in self.alloc.assignment:
+                self.emit(f"mov{_SFX[width]} {value}, "
+                          f"{self._view_name(out_reg, width)}")
+                continue
+            src_full = self.alloc.reg_of(temp)
+            pending.append((src_full, _full(out_reg), width))
+        while pending:
+            progressed = False
+            for move in list(pending):
+                src, dst, width = move
+                if any(other_src == dst for other_src, _odst, _w in pending
+                       if (other_src, _odst, _w) != move):
+                    continue
+                if src != dst:
+                    self.emit(f"mov{_SFX[width]} "
+                              f"{self._view(src, width)}, "
+                              f"{self._view(dst, width)}")
+                pending.remove(move)
+                progressed = True
+            if not progressed:      # cycle: rotate through rax
+                src, dst, width = pending.pop(0)
+                self.emit(f"mov{_SFX[width]} {self._view(src, width)}, "
+                          f"{self._view('rax', width)}")
+                pending.append(("rax", dst, width))
+
+    # -- per-IR emission ----------------------------------------------------------------
+
+    def _emit_instr(self, instr: IRInstr, index: int) -> None:
+        if isinstance(instr, IRConst):
+            if self.alloc.last_use.get(instr.dst, -1) <= index:
+                return                       # folded into an immediate
+            if self._only_immediate_uses(instr.dst, index):
+                return
+            self._emit_const(instr)
+        elif isinstance(instr, IRMove):
+            sfx = _SFX[instr.width]
+            self.emit(f"mov{sfx} {self.imm_or_reg(instr.src, instr.width)},"
+                      f" {self.dst(instr.dst)}")
+        elif isinstance(instr, IRBinary):
+            self._emit_binary(instr)
+        elif isinstance(instr, IRUnary):
+            sfx = _SFX[instr.width]
+            src = self.imm_or_reg(instr.src, instr.width)
+            dst = self.dst(instr.dst)
+            self.emit(f"mov{sfx} {src}, {dst}")
+            mnem = "not" if instr.op is UnOp.NOT else "neg"
+            self.emit(f"{mnem}{sfx} {dst}")
+        elif isinstance(instr, IRCompare):
+            self._emit_compare(instr)
+        elif isinstance(instr, IRSelect):
+            self._emit_select(instr)
+        elif isinstance(instr, IRCast):
+            self._emit_cast(instr)
+        elif isinstance(instr, IRLoad):
+            mem = self._mem_operand(instr)
+            self.emit(f"mov{_SFX[instr.width]} {mem}, "
+                      f"{self.dst(instr.dst)}")
+        elif isinstance(instr, IRStore):
+            mem = self._mem_operand(instr)
+            self.emit(f"mov{_SFX[instr.width]} "
+                      f"{self.imm_or_reg(instr.src, instr.width)}, {mem}")
+        elif isinstance(instr, IRMulWide):
+            self._emit_mulwide(instr)
+        else:
+            raise CompileError(f"cannot emit {instr!r}")
+
+    def _only_immediate_uses(self, temp: str, index: int) -> bool:
+        """True if every later use can take the constant as an immediate."""
+        value = self.consts.get(temp)
+        if value is None:
+            return False
+        if temp in self.ir.output_temps.values():
+            return True                      # outputs emit their own mov
+        width = self.ir.temp_widths[temp]
+        signed = value if value < (1 << 31) else value - (1 << width)
+        if not -(1 << 31) <= signed < (1 << 31):
+            return False
+        for instr in self.ir.body[index + 1:]:
+            if temp not in instr.uses():
+                continue
+            if isinstance(instr, (IRBinary, IRMove, IRStore, IRCompare)):
+                if isinstance(instr, IRBinary) and instr.op is BinOp.DIV_U:
+                    return False
+                if isinstance(instr, IRCompare) and instr.right != temp:
+                    return False
+                if isinstance(instr, IRStore) and instr.src != temp:
+                    return False
+                continue
+            return False
+        return True
+
+    def _emit_const(self, instr: IRConst) -> None:
+        value = instr.value & ((1 << instr.width) - 1)
+        if instr.width == 64 and value > 0x7FFFFFFF:
+            self.emit(f"movabsq {value}, {self.dst(instr.dst, 64)}")
+        else:
+            self.emit(f"mov{_SFX[instr.width]} {value}, "
+                      f"{self.dst(instr.dst)}")
+
+    def _emit_binary(self, instr: IRBinary) -> None:
+        sfx = _SFX[instr.width]
+        if instr.op is BinOp.DIV_U:
+            self.emit(f"mov{sfx} "
+                      f"{self.imm_or_reg(instr.left, instr.width)}, "
+                      f"{self._view('rax', instr.width)}")
+            self.emit("xorl edx, edx")
+            self.emit(f"div{sfx} {self.reg(instr.right, instr.width)}")
+            self.emit(f"mov{sfx} {self._view('rax', instr.width)}, "
+                      f"{self.dst(instr.dst)}")
+            return
+        if instr.op in (BinOp.SHL, BinOp.SHR_U, BinOp.SHR_S):
+            self._emit_shift(instr)
+            return
+        left = self.imm_or_reg(instr.left, instr.width)
+        right = self.imm_or_reg(instr.right, instr.width)
+        dst = self.dst(instr.dst)
+        self.emit(f"mov{sfx} {left}, {dst}")
+        self.emit(f"{_BIN_MNEMONIC[instr.op]}{sfx} {right}, {dst}")
+
+    def _emit_shift(self, instr: IRBinary) -> None:
+        sfx = _SFX[instr.width]
+        mnem = _BIN_MNEMONIC[instr.op]
+        dst = self.dst(instr.dst)
+        self.emit(f"mov{sfx} "
+                  f"{self.imm_or_reg(instr.left, instr.width)}, {dst}")
+        count = self.consts.get(instr.right)
+        if count is not None and \
+                instr.right not in self.alloc.assignment:
+            self.emit(f"{mnem}{sfx} {count & (instr.width - 1)}, {dst}")
+        else:
+            count_reg = self.reg(instr.right, 32)
+            self.emit(f"movl {count_reg}, ecx")
+            self.emit(f"{mnem}{sfx} cl, {dst}")
+
+    def _emit_compare(self, instr: IRCompare) -> None:
+        sfx = _SFX[instr.width]
+        left = self.reg(instr.left, instr.width)
+        right = self.imm_or_reg(instr.right, instr.width)
+        self.emit(f"cmp{sfx} {right}, {left}")
+        self.emit(f"set{instr.cc} al")
+        dst = self.dst(instr.dst)
+        if instr.width == 64:
+            self.emit(f"movzbq al, {self._view(_full(dst), 64)}")
+        else:
+            self.emit(f"movzbl al, {dst}")
+
+    def _emit_select(self, instr: IRSelect) -> None:
+        sfx = _SFX[instr.width]
+        dst = self.dst(instr.dst)
+        self.emit(f"mov{sfx} "
+                  f"{self.imm_or_reg(instr.otherwise, instr.width)}, {dst}")
+        cond = self.reg(instr.cond)
+        cond_sfx = _SFX[self.ir.temp_widths[instr.cond]]
+        self.emit(f"test{cond_sfx} {cond}, {cond}")
+        self.emit(f"cmovne{sfx} {self.reg(instr.then, instr.width)}, "
+                  f"{dst}")
+
+    def _emit_cast(self, instr: IRCast) -> None:
+        if instr.from_width == 32 and instr.to_width == 64:
+            src = self.reg(instr.src, 32)
+            if instr.signed:
+                self.emit(f"movslq {src}, {self.dst(instr.dst, 64)}")
+            else:
+                self.emit(f"movl {src}, {self.dst(instr.dst, 32)}")
+        elif instr.from_width == 64 and instr.to_width == 32:
+            self.emit(f"movl {self.reg(instr.src, 32)}, "
+                      f"{self.dst(instr.dst, 32)}")
+        elif instr.from_width == instr.to_width:
+            self.emit(f"mov{_SFX[instr.to_width]} "
+                      f"{self.reg(instr.src)}, {self.dst(instr.dst)}")
+        else:
+            raise CompileError(
+                f"unsupported cast {instr.from_width}->{instr.to_width}")
+
+    def _emit_mulwide(self, instr: IRMulWide) -> None:
+        sfx = _SFX[instr.width]
+        self.emit(f"mov{sfx} {self.reg(instr.left, instr.width)}, "
+                  f"{self._view('rax', instr.width)}")
+        self.emit(f"mul{sfx} {self.reg(instr.right, instr.width)}")
+        self.emit(f"mov{sfx} {self._view('rax', instr.width)}, "
+                  f"{self.dst(instr.dst_lo)}")
+        self.emit(f"mov{sfx} {self._view('rdx', instr.width)}, "
+                  f"{self.dst(instr.dst_hi)}")
+
+    def _mem_operand(self, instr: IRLoad | IRStore) -> str:
+        base = self.reg(instr.base, 64)
+        if instr.index is not None:
+            index = self.reg(instr.index, 64)
+            inner = f"({base},{index},{instr.scale})"
+        else:
+            inner = f"({base})"
+        return f"{instr.disp}{inner}" if instr.disp else inner
+
+
+def _full(reg_name: str) -> str:
+    """The 64-bit full-register name underlying any view name."""
+    return lookup(reg_name).full
+
+
+def compile_opt(fn: Function, *, flavor: str = "gcc") -> Program:
+    """Compile a kernel the way an optimizing compiler would.
+
+    Args:
+        fn: the kernel.
+        flavor: "gcc" (all passes) or "icc" (no strength reduction, no
+            copy propagation — deliberately slightly weaker, as in the
+            paper's Section 6.3 observation).
+    """
+    ir = lower_function(fn)
+    if flavor == "gcc":
+        optimize(ir)
+    elif flavor == "icc":
+        optimize(ir, strength_reduction=False, copy_propagation=False)
+    else:
+        raise CompileError(f"unknown flavor {flavor!r}")
+    return _OptEmitter(ir, fn).run()

@@ -1,0 +1,148 @@
+"""Reference interpreter for the mini-C AST.
+
+Used to sanity-check the code generators and as the ground truth for
+benchmark reference semantics in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.cc.ast import (Assign, Bin, BinOp, Cast, Const, Expr, Function,
+                          Load, Select, Stmt, Store, Un, UnOp, Var)
+from repro.errors import CompileError
+from repro.x86.algebra import mask, to_signed
+
+
+class Memory:
+    """Byte-addressable memory for Load/Store kernels."""
+
+    def __init__(self, contents: dict[int, int] | None = None) -> None:
+        self.bytes: dict[int, int] = dict(contents or {})
+
+    def load(self, addr: int, width: int) -> int:
+        return int.from_bytes(
+            bytes(self.bytes.get(addr + i, 0) for i in range(width // 8)),
+            "little")
+
+    def store(self, addr: int, value: int, width: int) -> None:
+        for i, byte in enumerate(value.to_bytes(width // 8, "little")):
+            self.bytes[addr + i] = byte
+
+
+def evaluate(fn: Function, args: dict[str, int],
+             memory: Memory | None = None) -> dict[str, int]:
+    """Run ``fn`` on ``args``; returns output register -> value."""
+    memory = memory if memory is not None else Memory()
+    env: dict[str, int] = {}
+    widths = {p.name: p.width for p in fn.params}
+    for param in fn.params:
+        env[param.name] = args[param.name] & mask(param.width)
+
+    def width_of(expr: Expr) -> int:
+        if isinstance(expr, Var):
+            return widths.get(expr.name, 32)
+        if isinstance(expr, Const):
+            return 32
+        if isinstance(expr, Bin):
+            if isinstance(expr.left, Const) and \
+                    not isinstance(expr.right, Const):
+                return width_of(expr.right)
+            return width_of(expr.left)
+        if isinstance(expr, Un):
+            return width_of(expr.operand)
+        if isinstance(expr, Select):
+            return width_of(expr.then)
+        if isinstance(expr, Cast):
+            return expr.to_width
+        if isinstance(expr, Load):
+            return expr.width
+        raise CompileError(f"cannot type {expr!r}")
+
+    def ev(expr: Expr, width_hint: int | None = None) -> int:
+        if isinstance(expr, Var):
+            return env[expr.name]
+        if isinstance(expr, Const):
+            return expr.value & mask(width_hint or 32)
+        if isinstance(expr, Un):
+            value = ev(expr.operand, width_hint)
+            width = width_of(expr.operand) if not isinstance(
+                expr.operand, Const) else (width_hint or 32)
+            if expr.op is UnOp.NOT:
+                return ~value & mask(width)
+            return -value & mask(width)
+        if isinstance(expr, Select):
+            return ev(expr.then) if ev(expr.cond) else ev(expr.otherwise)
+        if isinstance(expr, Cast):
+            value = ev(expr.operand)
+            from_width = width_of(expr.operand)
+            if expr.signed:
+                return to_signed(from_width, value) & mask(expr.to_width)
+            return value & mask(expr.to_width)
+        if isinstance(expr, Load):
+            addr = _address(expr.base, expr.index, expr.scale, expr.disp)
+            return memory.load(addr, expr.width)
+        if isinstance(expr, Bin):
+            width = width_of(expr)
+            a = ev(expr.left, width)
+            b = ev(expr.right, width)
+            return _binop(expr.op, a, b, width)
+        raise CompileError(f"cannot evaluate {expr!r}")
+
+    def _address(base: Expr, index: Expr | None, scale: int,
+                 disp: int) -> int:
+        addr = ev(base, 64) + disp
+        if index is not None:
+            addr += scale * ev(index, 64)
+        return addr & mask(64)
+
+    for stmt in fn.body:
+        if isinstance(stmt, Assign):
+            value = ev(stmt.value)
+            env[stmt.name] = value
+            if stmt.name not in widths:
+                widths[stmt.name] = width_of(stmt.value)
+        elif isinstance(stmt, Store):
+            addr = _address(stmt.base, stmt.index, stmt.scale, stmt.disp)
+            memory.store(addr, ev(stmt.value, stmt.width), stmt.width)
+        else:
+            raise CompileError(f"cannot execute {stmt!r}")
+
+    return {output.reg: env[output.var] for output in fn.outputs}
+
+
+def _binop(op: BinOp, a: int, b: int, width: int) -> int:
+    m = mask(width)
+    if op is BinOp.ADD:
+        return (a + b) & m
+    if op is BinOp.SUB:
+        return (a - b) & m
+    if op is BinOp.MUL:
+        return (a * b) & m
+    if op is BinOp.MULHI_U:
+        return ((a * b) >> width) & m
+    if op is BinOp.AND:
+        return a & b
+    if op is BinOp.OR:
+        return a | b
+    if op is BinOp.XOR:
+        return a ^ b
+    if op is BinOp.SHL:
+        return (a << (b % width)) & m if b < width else 0
+    if op is BinOp.SHR_U:
+        return a >> b if b < width else 0
+    if op is BinOp.SHR_S:
+        return (to_signed(width, a) >> min(b, width - 1)) & m
+    if op is BinOp.DIV_U:
+        return a // b if b else 0
+    if op is BinOp.EQ:
+        return 1 if a == b else 0
+    if op is BinOp.NE:
+        return 1 if a != b else 0
+    if op is BinOp.LT_U:
+        return 1 if a < b else 0
+    if op is BinOp.LT_S:
+        return 1 if to_signed(width, a) < to_signed(width, b) else 0
+    if op is BinOp.LE_S:
+        return 1 if to_signed(width, a) <= to_signed(width, b) else 0
+    if op is BinOp.GT_S:
+        return 1 if to_signed(width, a) > to_signed(width, b) else 0
+    raise CompileError(f"unknown binop {op}")

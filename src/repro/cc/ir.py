@@ -1,0 +1,183 @@
+"""Three-address intermediate representation of the mini-compiler.
+
+Temps are single-assignment (the lowering renames source variables), so
+liveness and the optimization passes stay simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cc.ast import BinOp, UnOp
+
+
+@dataclass(frozen=True)
+class IRInstr:
+    """Base class; every IR instruction defines at most one temp."""
+
+    def uses(self) -> tuple[str, ...]:
+        return ()
+
+    def defines(self) -> tuple[str, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class IRConst(IRInstr):
+    dst: str
+    value: int
+    width: int
+
+    def defines(self) -> tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class IRMove(IRInstr):
+    dst: str
+    src: str
+    width: int
+
+    def uses(self) -> tuple[str, ...]:
+        return (self.src,)
+
+    def defines(self) -> tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class IRBinary(IRInstr):
+    op: BinOp
+    dst: str
+    left: str
+    right: str
+    width: int
+
+    def uses(self) -> tuple[str, ...]:
+        return (self.left, self.right)
+
+    def defines(self) -> tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class IRUnary(IRInstr):
+    op: UnOp
+    dst: str
+    src: str
+    width: int
+
+    def uses(self) -> tuple[str, ...]:
+        return (self.src,)
+
+    def defines(self) -> tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class IRCompare(IRInstr):
+    """dst = (left cc right) as 0/1."""
+
+    cc: str           # canonical condition code: e, ne, b, be, l, le, g...
+    dst: str
+    left: str
+    right: str
+    width: int
+
+    def uses(self) -> tuple[str, ...]:
+        return (self.left, self.right)
+
+    def defines(self) -> tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class IRSelect(IRInstr):
+    """dst = cond ? then : otherwise (cond is 0/1)."""
+
+    dst: str
+    cond: str
+    then: str
+    otherwise: str
+    width: int
+
+    def uses(self) -> tuple[str, ...]:
+        return (self.cond, self.then, self.otherwise)
+
+    def defines(self) -> tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class IRCast(IRInstr):
+    dst: str
+    src: str
+    from_width: int
+    to_width: int
+    signed: bool
+
+    def uses(self) -> tuple[str, ...]:
+        return (self.src,)
+
+    def defines(self) -> tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class IRLoad(IRInstr):
+    dst: str
+    base: str
+    width: int
+    index: str | None = None
+    scale: int = 1
+    disp: int = 0
+
+    def uses(self) -> tuple[str, ...]:
+        return (self.base,) if self.index is None \
+            else (self.base, self.index)
+
+    def defines(self) -> tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class IRStore(IRInstr):
+    src: str
+    base: str
+    width: int
+    index: str | None = None
+    scale: int = 1
+    disp: int = 0
+
+    def uses(self) -> tuple[str, ...]:
+        return (self.src, self.base) if self.index is None \
+            else (self.src, self.base, self.index)
+
+
+@dataclass(frozen=True)
+class IRMulWide(IRInstr):
+    """(dst_hi : dst_lo) = left * right, widening unsigned multiply."""
+
+    dst_lo: str
+    dst_hi: str
+    left: str
+    right: str
+    width: int
+
+    def uses(self) -> tuple[str, ...]:
+        return (self.left, self.right)
+
+    def defines(self) -> tuple[str, ...]:
+        return (self.dst_lo, self.dst_hi)
+
+
+@dataclass
+class IRFunction:
+    """Lowered function: params pre-bound to temps, linear body."""
+
+    name: str
+    param_temps: dict[str, str]          # param name -> temp
+    param_widths: dict[str, int]         # temp -> width
+    body: list[IRInstr]
+    output_temps: dict[str, str]         # output register -> temp
+    temp_widths: dict[str, int]          # every temp -> width

@@ -1,0 +1,159 @@
+"""Lowering: AST functions to single-assignment three-address IR."""
+
+from __future__ import annotations
+
+from repro.cc.ast import (Assign, Bin, BinOp, Cast, Const, Expr, Function,
+                          Load, Select, Stmt, Store, Un, UnOp, Var)
+from repro.cc.ir import (IRBinary, IRCast, IRCompare, IRConst, IRFunction,
+                         IRInstr, IRLoad, IRMove, IRMulWide, IRSelect,
+                         IRStore, IRUnary)
+from repro.errors import CompileError
+
+_COMPARE_CCS = {
+    BinOp.EQ: "e", BinOp.NE: "ne",
+    BinOp.LT_U: "b", BinOp.LT_S: "l",
+    BinOp.LE_S: "le", BinOp.GT_S: "g",
+}
+
+
+class Lowerer:
+    """Lowers one function; use :func:`lower_function`."""
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        self.body: list[IRInstr] = []
+        self.temp_widths: dict[str, int] = {}
+        self.env: dict[str, str] = {}       # source var -> current temp
+        self._counter = 0
+
+    def lower(self) -> IRFunction:
+        param_temps: dict[str, str] = {}
+        param_widths: dict[str, int] = {}
+        for param in self.fn.params:
+            temp = self._fresh(param.width, hint=param.name)
+            param_temps[param.name] = temp
+            param_widths[temp] = param.width
+            self.env[param.name] = temp
+        for stmt in self.fn.body:
+            self._lower_stmt(stmt)
+        output_temps: dict[str, str] = {}
+        for output in self.fn.outputs:
+            if output.var not in self.env:
+                raise CompileError(f"output {output.var!r} never assigned")
+            output_temps[output.reg] = self.env[output.var]
+        return IRFunction(
+            name=self.fn.name,
+            param_temps=param_temps,
+            param_widths=param_widths,
+            body=self.body,
+            output_temps=output_temps,
+            temp_widths=self.temp_widths,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _fresh(self, width: int, hint: str = "t") -> str:
+        name = f"{hint}.{self._counter}"
+        self._counter += 1
+        self.temp_widths[name] = width
+        return name
+
+    def width_of(self, temp: str) -> int:
+        return self.temp_widths[temp]
+
+    # -- statements --------------------------------------------------------------
+
+    def _lower_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            self.env[stmt.name] = self._lower_expr(stmt.value)
+        elif isinstance(stmt, Store):
+            value = self._lower_expr(stmt.value)
+            base = self._lower_expr(stmt.base)
+            index = self._lower_expr(stmt.index) \
+                if stmt.index is not None else None
+            self.body.append(IRStore(src=value, base=base,
+                                     width=stmt.width, index=index,
+                                     scale=stmt.scale, disp=stmt.disp))
+        else:
+            raise CompileError(f"cannot lower statement {stmt!r}")
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _lower_expr(self, expr: Expr, width_hint: int | None = None) -> str:
+        if isinstance(expr, Var):
+            try:
+                return self.env[expr.name]
+            except KeyError:
+                raise CompileError(f"unbound variable {expr.name!r}") \
+                    from None
+        if isinstance(expr, Const):
+            width = width_hint or 32
+            temp = self._fresh(width, hint="c")
+            self.body.append(IRConst(temp, expr.value, width))
+            return temp
+        if isinstance(expr, Bin):
+            return self._lower_bin(expr, width_hint)
+        if isinstance(expr, Un):
+            src = self._lower_expr(expr.operand, width_hint)
+            width = self.width_of(src)
+            dst = self._fresh(width)
+            self.body.append(IRUnary(expr.op, dst, src, width))
+            return dst
+        if isinstance(expr, Select):
+            cond = self._lower_expr(expr.cond, width_hint)
+            then = self._lower_expr(expr.then, width_hint)
+            other = self._lower_expr(expr.otherwise,
+                                     self.width_of(then))
+            width = self.width_of(then)
+            dst = self._fresh(width)
+            self.body.append(IRSelect(dst, cond, then, other, width))
+            return dst
+        if isinstance(expr, Cast):
+            src = self._lower_expr(expr.operand)
+            from_width = self.width_of(src)
+            dst = self._fresh(expr.to_width)
+            self.body.append(IRCast(dst, src, from_width,
+                                    expr.to_width, expr.signed))
+            return dst
+        if isinstance(expr, Load):
+            base = self._lower_expr(expr.base, 64)
+            index = self._lower_expr(expr.index, 64) \
+                if expr.index is not None else None
+            dst = self._fresh(expr.width)
+            self.body.append(IRLoad(dst, base, expr.width, index,
+                                    expr.scale, expr.disp))
+            return dst
+        raise CompileError(f"cannot lower expression {expr!r}")
+
+    def _lower_bin(self, expr: Bin, width_hint: int | None) -> str:
+        # lower the non-constant side first so constants adopt its width
+        left_expr, right_expr = expr.left, expr.right
+        if isinstance(left_expr, Const) and not isinstance(right_expr,
+                                                           Const):
+            right = self._lower_expr(right_expr, width_hint)
+            left = self._lower_expr(left_expr, self.width_of(right))
+        else:
+            left = self._lower_expr(left_expr, width_hint)
+            hint = self.width_of(left)
+            if expr.op in (BinOp.SHL, BinOp.SHR_U, BinOp.SHR_S):
+                hint = 32 if isinstance(right_expr, Const) else hint
+            right = self._lower_expr(right_expr, hint)
+        width = self.width_of(left)
+        if expr.op in _COMPARE_CCS:
+            dst = self._fresh(width)
+            self.body.append(IRCompare(_COMPARE_CCS[expr.op], dst,
+                                       left, right, width))
+            return dst
+        if expr.op is BinOp.MULHI_U:
+            lo = self._fresh(width)
+            hi = self._fresh(width)
+            self.body.append(IRMulWide(lo, hi, left, right, width))
+            return hi
+        dst = self._fresh(width)
+        self.body.append(IRBinary(expr.op, dst, left, right, width))
+        return dst
+
+
+def lower_function(fn: Function) -> IRFunction:
+    """Lower an AST function to IR."""
+    return Lowerer(fn).lower()

@@ -1,0 +1,195 @@
+"""Optimization passes over the IR (the ``-O3`` substitute's middle end).
+
+Implemented passes: constant folding, copy propagation, strength
+reduction (multiply/divide by powers of two), and dead code
+elimination. They run to a fixed point in :func:`optimize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cc.ast import BinOp, UnOp
+from repro.cc.interp import _binop
+from repro.cc.ir import (IRBinary, IRCast, IRCompare, IRConst, IRFunction,
+                         IRInstr, IRLoad, IRMove, IRMulWide, IRSelect,
+                         IRStore, IRUnary)
+from repro.x86.algebra import mask, to_signed
+
+
+def constant_values(ir: IRFunction) -> dict[str, int]:
+    """Map of temps whose values are compile-time constants."""
+    consts: dict[str, int] = {}
+    for instr in ir.body:
+        if isinstance(instr, IRConst):
+            consts[instr.dst] = instr.value & mask(instr.width)
+    return consts
+
+
+def fold_constants(ir: IRFunction) -> bool:
+    """Evaluate operations whose inputs are constants. True if changed."""
+    consts = constant_values(ir)
+    changed = False
+    new_body: list[IRInstr] = []
+    for instr in ir.body:
+        folded = _try_fold(instr, consts)
+        if folded is not None:
+            consts[folded.dst] = folded.value & mask(folded.width)
+            new_body.append(folded)
+            changed = True
+        else:
+            new_body.append(instr)
+    ir.body = new_body
+    return changed
+
+
+def _try_fold(instr: IRInstr, consts: dict[str, int]) -> IRConst | None:
+    if isinstance(instr, IRBinary) and instr.left in consts \
+            and instr.right in consts:
+        value = _binop(instr.op, consts[instr.left],
+                       consts[instr.right], instr.width)
+        return IRConst(instr.dst, value, instr.width)
+    if isinstance(instr, IRUnary) and instr.src in consts:
+        a = consts[instr.src]
+        value = (~a if instr.op is UnOp.NOT else -a) & mask(instr.width)
+        return IRConst(instr.dst, value, instr.width)
+    if isinstance(instr, IRCast) and instr.src in consts:
+        a = consts[instr.src]
+        if instr.signed:
+            value = to_signed(instr.from_width, a) & mask(instr.to_width)
+        else:
+            value = a & mask(instr.to_width)
+        return IRConst(instr.dst, value, instr.to_width)
+    if isinstance(instr, IRMove) and instr.src in consts:
+        return IRConst(instr.dst, consts[instr.src], instr.width)
+    return None
+
+
+def propagate_copies(ir: IRFunction) -> bool:
+    """Rewrite uses of move destinations to their sources."""
+    alias: dict[str, str] = {}
+    for instr in ir.body:
+        if isinstance(instr, IRMove):
+            alias[instr.dst] = alias.get(instr.src, instr.src)
+
+    def resolve(temp: str) -> str:
+        return alias.get(temp, temp)
+
+    changed = False
+    new_body: list[IRInstr] = []
+    for instr in ir.body:
+        rewritten = _rewrite_uses(instr, resolve)
+        if rewritten is not instr:
+            changed = True
+        new_body.append(rewritten)
+    ir.body = new_body
+    for reg, temp in list(ir.output_temps.items()):
+        if resolve(temp) != temp:
+            ir.output_temps[reg] = resolve(temp)
+            changed = True
+    return changed
+
+
+def _rewrite_uses(instr: IRInstr, resolve) -> IRInstr:
+    if isinstance(instr, IRBinary):
+        return replace(instr, left=resolve(instr.left),
+                       right=resolve(instr.right))
+    if isinstance(instr, IRUnary):
+        return replace(instr, src=resolve(instr.src))
+    if isinstance(instr, IRCompare):
+        return replace(instr, left=resolve(instr.left),
+                       right=resolve(instr.right))
+    if isinstance(instr, IRSelect):
+        return replace(instr, cond=resolve(instr.cond),
+                       then=resolve(instr.then),
+                       otherwise=resolve(instr.otherwise))
+    if isinstance(instr, IRCast):
+        return replace(instr, src=resolve(instr.src))
+    if isinstance(instr, IRMove):
+        return replace(instr, src=resolve(instr.src))
+    if isinstance(instr, IRLoad):
+        return replace(instr, base=resolve(instr.base),
+                       index=resolve(instr.index)
+                       if instr.index else None)
+    if isinstance(instr, IRStore):
+        return replace(instr, src=resolve(instr.src),
+                       base=resolve(instr.base),
+                       index=resolve(instr.index)
+                       if instr.index else None)
+    if isinstance(instr, IRMulWide):
+        return replace(instr, left=resolve(instr.left),
+                       right=resolve(instr.right))
+    return instr
+
+
+def reduce_strength(ir: IRFunction) -> bool:
+    """mul/div by a power of two becomes a shift. True if changed."""
+    consts = constant_values(ir)
+    changed = False
+    new_body: list[IRInstr] = []
+    counter = [0]
+
+    def fresh(width: int) -> str:
+        counter[0] += 1
+        name = f"sr.{counter[0]}"
+        ir.temp_widths[name] = width
+        return name
+
+    for instr in ir.body:
+        if isinstance(instr, IRBinary) and \
+                instr.op in (BinOp.MUL, BinOp.DIV_U):
+            operand_pairs = [(instr.left, instr.right)]
+            if instr.op is BinOp.MUL:        # division is not commutative
+                operand_pairs.append((instr.right, instr.left))
+            for a, b in operand_pairs:
+                value = consts.get(b)
+                if value is not None and value > 1 and \
+                        value & (value - 1) == 0:
+                    shift = fresh(instr.width)
+                    new_body.append(IRConst(
+                        shift, value.bit_length() - 1, instr.width))
+                    op = BinOp.SHL if instr.op is BinOp.MUL \
+                        else BinOp.SHR_U
+                    new_body.append(IRBinary(op, instr.dst, a, shift,
+                                             instr.width))
+                    changed = True
+                    break
+            else:
+                new_body.append(instr)
+            continue
+        new_body.append(instr)
+    ir.body = new_body
+    return changed
+
+
+def eliminate_dead(ir: IRFunction) -> bool:
+    """Drop instructions whose results are never used."""
+    live = set(ir.output_temps.values())
+    keep: list[IRInstr] = []
+    changed = False
+    for instr in reversed(ir.body):
+        has_effect = isinstance(instr, IRStore)
+        defines = instr.defines()
+        if has_effect or any(d in live for d in defines):
+            keep.append(instr)
+            live.update(instr.uses())
+        else:
+            changed = True
+    keep.reverse()
+    ir.body = keep
+    return changed
+
+
+def optimize(ir: IRFunction, *, strength_reduction: bool = True,
+             copy_propagation: bool = True) -> IRFunction:
+    """Run all enabled passes to a fixed point."""
+    for _ in range(8):
+        changed = fold_constants(ir)
+        if copy_propagation:
+            changed |= propagate_copies(ir)
+        if strength_reduction:
+            changed |= reduce_strength(ir)
+        changed |= eliminate_dead(ir)
+        if not changed:
+            break
+    return ir

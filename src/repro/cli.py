@@ -1,0 +1,134 @@
+"""Command-line interface: superoptimize kernels from a shell.
+
+Usage::
+
+    python -m repro.cli list                      # show the suite
+    python -m repro.cli show mont                 # print a kernel's codegens
+    python -m repro.cli optimize p01 --proposals 40000
+    python -m repro.cli validate p01              # prove gcc == o0
+    python -m repro.cli speedups p01 p03 p06      # Figure 10 rows
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perfsim.model import actual_runtime
+from repro.search.config import SearchConfig
+from repro.search.stoke import Stoke
+from repro.suite.registry import all_benchmarks, benchmark
+from repro.suite.runner import evaluate_benchmark
+from repro.verifier.validator import Validator
+from repro.x86.latency import program_latency
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for bench in all_benchmarks():
+        star = "*" if bench.starred else " "
+        timeout = " (synthesis times out)" if bench.synthesis_timeout \
+            else ""
+        print(f"  {bench.name:>6}{star}  {bench.description}{timeout}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    bench = benchmark(args.kernel)
+    for flavor in ("o0", "gcc", "icc"):
+        prog = getattr(bench, flavor)
+        print(f"--- {flavor} ({prog.instruction_count} instructions, "
+              f"H={program_latency(prog)}, "
+              f"{actual_runtime(prog.compact())} modeled cycles)")
+        print(prog)
+    if bench.paper_stoke is not None:
+        prog = bench.paper_stoke
+        print(f"--- paper's STOKE rewrite ({prog.instruction_count} "
+              f"instructions, {actual_runtime(prog.compact())} cycles)")
+        print(prog)
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    bench = benchmark(args.kernel)
+    config = SearchConfig(
+        ell=min(50, max(8, len(bench.o0) + 4)),
+        beta=args.beta,
+        seed=args.seed,
+        optimization_proposals=args.proposals,
+        optimization_restarts=args.restarts,
+        synthesis_chains=1 if args.synthesis else 0,
+        synthesis_proposals=args.proposals,
+        testcase_count=args.testcases,
+    )
+    stoke = Stoke(bench.o0, bench.spec, bench.annotations, config=config)
+    result = stoke.run()
+    if result.rewrite is None:
+        print("no verified rewrite found; raise --proposals")
+        return 1
+    print(f"verified rewrite ({result.rewrite.instruction_count} "
+          f"instructions, {result.speedup:.2f}x modeled speedup, "
+          f"{result.seconds:.1f}s):")
+    print(result.rewrite)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    bench = benchmark(args.kernel)
+    outcome = Validator().validate(bench.o0, bench.gcc, bench.spec)
+    print(f"gcc -O3 equivalent to llvm -O0: {outcome.equivalent} "
+          f"({outcome.num_clauses} clauses, {outcome.seconds:.1f}s)")
+    return 0 if outcome.equivalent else 1
+
+
+def _cmd_speedups(args: argparse.Namespace) -> int:
+    for index, name in enumerate(args.kernels):
+        outcome = evaluate_benchmark(benchmark(name), seed=17 + index)
+        print(outcome.row())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list suite kernels") \
+        .set_defaults(fn=_cmd_list)
+
+    show = sub.add_parser("show", help="print a kernel's compilations")
+    show.add_argument("kernel")
+    show.set_defaults(fn=_cmd_show)
+
+    optimize = sub.add_parser("optimize", help="run the STOKE pipeline")
+    optimize.add_argument("kernel")
+    optimize.add_argument("--proposals", type=int, default=40_000)
+    optimize.add_argument("--restarts", type=int, default=10)
+    optimize.add_argument("--beta", type=float, default=1.0)
+    optimize.add_argument("--seed", type=int, default=0)
+    optimize.add_argument("--testcases", type=int, default=16)
+    optimize.add_argument("--synthesis", action="store_true",
+                          help="also run the synthesis phase")
+    optimize.set_defaults(fn=_cmd_optimize)
+
+    validate = sub.add_parser("validate",
+                              help="prove gcc -O3 equals llvm -O0")
+    validate.add_argument("kernel")
+    validate.set_defaults(fn=_cmd_validate)
+
+    speedups = sub.add_parser("speedups", help="Figure 10 rows")
+    speedups.add_argument("kernels", nargs="+")
+    speedups.set_defaults(fn=_cmd_speedups)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:      # e.g. `repro list | head`
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

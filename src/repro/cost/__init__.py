@@ -1,0 +1,11 @@
+"""Cost functions: correctness (strict/improved), performance, err."""
+
+from repro.cost.correctness import (CostWeights, err_penalty,
+                                    improved_distance, strict_distance,
+                                    testcase_cost)
+from repro.cost.function import CostFunction, CostResult, Phase
+from repro.cost.performance import perf_term, target_latency
+
+__all__ = ["CostFunction", "CostResult", "CostWeights", "Phase",
+           "err_penalty", "improved_distance", "perf_term",
+           "strict_distance", "target_latency", "testcase_cost"]

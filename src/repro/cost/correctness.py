@@ -1,0 +1,95 @@
+"""Correctness term of the cost function (Eqs. 8-11 and 15).
+
+Two variants are provided:
+
+* the *strict* distance (Eq. 9/10): per live output, the Hamming
+  distance between the rewrite's value and the target's value in the
+  same location;
+* the *improved* distance (Eq. 15, Section 4.6): per live output, the
+  minimum Hamming distance over all same-width locations, plus a small
+  misplacement penalty ``wm`` — rewarding correct values in wrong
+  places, which Figure 7 shows is the difference between convergence
+  and random search.
+
+Both are computed from the final :class:`MachineState` after running
+the rewrite on a testcase, plus the event counters for err(·).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.emulator.state import MachineState
+from repro.testgen.testcase import Testcase
+from repro.x86.registers import lookup, registers_of_width
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Weights from Figure 11 of the paper."""
+
+    wsf: int = 1     # segfault
+    wfp: int = 1     # floating point / division exception
+    wur: int = 2     # undefined register or memory read
+    wm: int = 3      # misplacement penalty for the improved metric
+
+
+def err_penalty(state: MachineState, weights: CostWeights) -> int:
+    """err(R; T, t): weighted count of sandbox events (Eq. 11)."""
+    events = state.events
+    return (weights.wsf * events.sigsegv +
+            weights.wfp * events.sigfpe +
+            weights.wur * events.undef)
+
+
+def strict_distance(state: MachineState, testcase: Testcase) -> int:
+    """reg + mem Hamming distance, strict placement (Eqs. 9, 10)."""
+    total = 0
+    for name, expected in testcase.expected_regs:
+        total += (expected ^ state.get_reg(name)).bit_count()
+    for addr, expected in testcase.expected_memory:
+        total += (expected ^ state.memory.get(addr, 0)).bit_count()
+    return total
+
+
+def improved_distance(state: MachineState, testcase: Testcase,
+                      weights: CostWeights) -> int:
+    """reg' + mem' distance with misplacement credit (Eq. 15)."""
+    total = 0
+    for name, expected in testcase.expected_regs:
+        reg = lookup(name)
+        best = (expected ^ state.get_reg(name)).bit_count()
+        if best:
+            for candidate in registers_of_width(reg.width):
+                if candidate.name == name:
+                    continue
+                distance = (expected ^
+                            state.get_reg(candidate.name)).bit_count() \
+                    + weights.wm
+                if distance < best:
+                    best = distance
+        total += best
+    output_addrs = [addr for addr, _ in testcase.expected_memory]
+    for addr, expected in testcase.expected_memory:
+        best = (expected ^ state.memory.get(addr, 0)).bit_count()
+        if best:
+            for other in output_addrs:
+                if other == addr:
+                    continue
+                distance = (expected ^
+                            state.memory.get(other, 0)).bit_count() \
+                    + weights.wm
+                if distance < best:
+                    best = distance
+        total += best
+    return total
+
+
+def testcase_cost(state: MachineState, testcase: Testcase,
+                  weights: CostWeights, *, improved: bool = True) -> int:
+    """Full per-testcase term of eq' (one summand of Eq. 8)."""
+    if improved:
+        distance = improved_distance(state, testcase, weights)
+    else:
+        distance = strict_distance(state, testcase)
+    return distance + err_penalty(state, weights)

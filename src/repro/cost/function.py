@@ -1,0 +1,112 @@
+"""The full cost function c(R; T) = eq(R; T) + perf(R; T) (Eq. 2).
+
+Supports both search phases (Section 4.4):
+
+* synthesis mode ignores the performance term entirely;
+* optimization mode adds the latency difference, allowing temporary
+  correctness violations while exploring shortcuts.
+
+The evaluator supports bounded evaluation for the optimized acceptance
+computation of Section 4.5: evaluation stops as soon as the running
+cost exceeds the precomputed acceptance bound (Eq. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.cost.correctness import CostWeights, testcase_cost
+from repro.cost.performance import perf_term
+from repro.emulator.cpu import Emulator
+from repro.testgen.testcase import Testcase
+from repro.x86.latency import program_latency
+from repro.x86.program import Program
+
+
+class Phase(Enum):
+    """Which cost terms are active (Section 4.4)."""
+
+    SYNTHESIS = "synthesis"
+    OPTIMIZATION = "optimization"
+
+
+@dataclass
+class CostResult:
+    """Outcome of evaluating one candidate rewrite.
+
+    Attributes:
+        value: the total cost, or None if evaluation terminated early
+            because the bound was exceeded.
+        eq_term: the correctness part (valid when value is not None).
+        testcases_evaluated: how many testcases ran before stopping —
+            the quantity plotted in Figure 5.
+    """
+
+    value: int | None
+    eq_term: int
+    testcases_evaluated: int
+
+    @property
+    def exceeded(self) -> bool:
+        return self.value is None
+
+    @property
+    def correct_on_tests(self) -> bool:
+        return self.value is not None and self.eq_term == 0
+
+
+class CostFunction:
+    """Evaluates c(R; T) over a testcase suite.
+
+    The testcase list may grow during search (counterexamples from the
+    validator are appended), which — as the paper notes — changes the
+    search landscape; that is intended.
+    """
+
+    def __init__(self, testcases: list[Testcase], target: Program, *,
+                 phase: Phase = Phase.SYNTHESIS,
+                 weights: CostWeights | None = None,
+                 improved: bool = True,
+                 max_steps: int = 10_000) -> None:
+        self.testcases = testcases
+        self.weights = weights or CostWeights()
+        self.improved = improved
+        self.phase = phase
+        self.target_latency = program_latency(target)
+        self.max_steps = max_steps
+
+    def add_testcase(self, testcase: Testcase) -> None:
+        self.testcases.append(testcase)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(self, rewrite: Program,
+                 bound: float | None = None) -> CostResult:
+        """Compute c(rewrite), optionally stopping at ``bound``.
+
+        With a bound (Eq. 14), evaluation is abandoned — and the
+        proposal known rejected — once the running sum exceeds it.
+        """
+        total = 0
+        if self.phase is Phase.OPTIMIZATION:
+            total += perf_term(rewrite, self.target_latency)
+        evaluated = 0
+        eq_term = 0
+        for testcase in self.testcases:
+            if bound is not None and total > bound:
+                return CostResult(value=None, eq_term=eq_term,
+                                  testcases_evaluated=evaluated)
+            state = testcase.initial_state()
+            emulator = Emulator(state, testcase.sandbox())
+            emulator.run(rewrite, max_steps=self.max_steps)
+            term = testcase_cost(state, testcase, self.weights,
+                                 improved=self.improved)
+            total += term
+            eq_term += term
+            evaluated += 1
+        if bound is not None and total > bound:
+            return CostResult(value=None, eq_term=eq_term,
+                              testcases_evaluated=evaluated)
+        return CostResult(value=total, eq_term=eq_term,
+                          testcases_evaluated=evaluated)

@@ -1,0 +1,24 @@
+"""Performance term of the cost function (Eq. 13).
+
+The paper approximates expected runtime with a static sum of average
+instruction latencies, H(f). The cost contribution of a rewrite is the
+*signed difference* against the target, so that rewrites faster than
+the target lower the total cost. (The paper prints the term as
+H(T) - H(R); since the cost is minimized, the sign that rewards lower
+H(R) is the one implemented here.)
+"""
+
+from __future__ import annotations
+
+from repro.x86.latency import program_latency
+from repro.x86.program import Program
+
+
+def perf_term(rewrite: Program, target_latency: int) -> int:
+    """perf(R; T) as a cost contribution: H(R) - H(T)."""
+    return program_latency(rewrite) - target_latency
+
+
+def target_latency(target: Program) -> int:
+    """Precompute H(T) once per search."""
+    return program_latency(target)

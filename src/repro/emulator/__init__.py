@@ -1,0 +1,8 @@
+"""Sandboxed concrete execution of X86 subset programs."""
+
+from repro.emulator.cpu import Emulator, run_program
+from repro.emulator.sandbox import Sandbox
+from repro.emulator.state import MachineState, RunEvents
+
+__all__ = ["Emulator", "MachineState", "RunEvents", "Sandbox",
+           "run_program"]

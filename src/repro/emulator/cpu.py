@@ -1,0 +1,132 @@
+"""The concrete emulator: a Machine over :class:`MachineState`.
+
+This is the paper's "hardware emulator" (Section 4.1, Figure 2 right):
+the engine that evaluates candidate rewrites on testcases in the MCMC
+inner loop. It implements the :class:`~repro.x86.semantics.Machine`
+protocol with the integer algebra, so it shares instruction semantics
+with the symbolic validator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StepLimitExceeded
+from repro.emulator.sandbox import Sandbox
+from repro.emulator.state import MachineState
+from repro.x86.algebra import INT_ALGEBRA
+from repro.x86.instruction import Instruction, is_unused
+from repro.x86.program import Program
+from repro.x86.registers import Register
+from repro.x86.semantics import cc_value, execute
+
+
+class Emulator:
+    """Executes programs against a :class:`MachineState` in a sandbox."""
+
+    def __init__(self, state: MachineState, sandbox: Sandbox) -> None:
+        self.alg = INT_ALGEBRA
+        self.state = state
+        self.sandbox = sandbox
+
+    # -- Machine protocol -------------------------------------------------------
+
+    def read_full(self, name: str) -> int:
+        return self.state.regs[name]
+
+    def write_full(self, name: str, value: int) -> None:
+        self.state.regs[name] = value
+
+    def check_reg_defined(self, reg: Register) -> None:
+        if not self.state.is_defined(reg):
+            self.state.events.undef += 1
+
+    def mark_reg_defined(self, reg: Register) -> None:
+        self.state.mark_defined(reg)
+
+    def read_flag(self, name: str) -> int:
+        if not self.state.flag_defined[name]:
+            self.state.events.undef += 1
+        return self.state.flags[name]
+
+    def write_flag(self, name: str, value: int) -> None:
+        self.state.flags[name] = value
+        self.state.flag_defined[name] = True
+
+    def set_flag_undefined(self, name: str) -> None:
+        self.state.flag_defined[name] = False
+
+    def read_mem(self, addr: int, nbytes: int) -> int:
+        state = self.state
+        result = 0
+        for i in range(nbytes):
+            byte_addr = (addr + i) & ((1 << 64) - 1)
+            if not self.sandbox.check(byte_addr):
+                state.events.sigsegv += 1
+                continue                      # byte reads as zero
+            try:
+                result |= state.memory[byte_addr] << (8 * i)
+            except KeyError:
+                state.events.undef += 1
+        return result
+
+    def write_mem(self, addr: int, nbytes: int, value: int) -> None:
+        state = self.state
+        for i in range(nbytes):
+            byte_addr = (addr + i) & ((1 << 64) - 1)
+            if not self.sandbox.check(byte_addr):
+                state.events.sigsegv += 1
+                continue
+            state.memory[byte_addr] = (value >> (8 * i)) & 0xFF
+
+    def fpe(self) -> None:
+        self.state.events.sigfpe += 1
+
+    def known_zero(self, width: int, value: int) -> bool:
+        return value == 0
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, prog: Program, *, max_steps: int = 10_000) -> MachineState:
+        """Execute ``prog`` to completion; returns the (mutated) state.
+
+        Jumps are resolved through the program's label table; programs
+        are loop-free by construction so execution always terminates,
+        but ``max_steps`` guards against misuse.
+
+        Raises:
+            StepLimitExceeded: if more than ``max_steps`` instructions
+                execute (cannot happen for well-formed loop-free code).
+        """
+        pc = 0
+        steps = 0
+        code = prog.code
+        length = len(code)
+        while pc < length:
+            steps += 1
+            if steps > max_steps:
+                raise StepLimitExceeded(f"exceeded {max_steps} steps")
+            instr = code[pc]
+            if is_unused(instr):
+                pc += 1
+                continue
+            if instr.is_jump:
+                pc = self._jump(prog, instr, pc)
+                continue
+            execute(instr, self)
+            pc += 1
+        return self.state
+
+    def _jump(self, prog: Program, instr: Instruction, pc: int) -> int:
+        target = instr.jump_target
+        assert target is not None
+        if instr.opcode.family == "jmp":
+            return prog.labels[target]
+        taken = cc_value(self, instr.opcode.cc)
+        return prog.labels[target] if taken else pc + 1
+
+
+def run_program(prog: Program, state: MachineState,
+                sandbox: Sandbox | None = None, *,
+                max_steps: int = 10_000) -> MachineState:
+    """Convenience wrapper: run ``prog`` on ``state`` and return it."""
+    box = sandbox if sandbox is not None else Sandbox.recorder()
+    return Emulator(state, box).run(prog, max_steps=max_steps)

@@ -1,0 +1,48 @@
+"""Memory sandbox policy (Section 5.1).
+
+The set of addresses dereferenced by the *target* on each testcase
+defines the sandbox in which candidate rewrites execute. A rewrite that
+touches any other address takes a (counted) segfault and reads a
+constant zero, exactly as the paper describes: "Attempts to dereference
+invalid addresses are trapped and replaced by instructions which produce
+a constant zero value."
+"""
+
+from __future__ import annotations
+
+
+class Sandbox:
+    """Address validity policy for one testcase.
+
+    In *recording* mode every access is legal and is remembered; running
+    the target in recording mode builds the valid set that is then
+    enforced against rewrites.
+    """
+
+    __slots__ = ("valid", "recording", "accessed")
+
+    def __init__(self, valid: frozenset[int] | None = None, *,
+                 recording: bool = False) -> None:
+        self.valid: frozenset[int] = valid if valid is not None \
+            else frozenset()
+        self.recording = recording
+        self.accessed: set[int] = set()
+
+    @classmethod
+    def recorder(cls) -> "Sandbox":
+        return cls(recording=True)
+
+    def check(self, addr: int) -> bool:
+        """True if the byte address may be dereferenced."""
+        if self.recording:
+            self.accessed.add(addr)
+            return True
+        return addr in self.valid
+
+    def frozen(self) -> "Sandbox":
+        """An enforcing sandbox covering everything this one accessed."""
+        return Sandbox(frozenset(self.accessed) | self.valid)
+
+
+PERMISSIVE = Sandbox(recording=True)
+"""A shared always-allow sandbox for tests and target instrumentation."""

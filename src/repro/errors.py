@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish subsystem-specific failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AsmSyntaxError(ReproError):
+    """Raised when assembly text cannot be parsed.
+
+    Carries the offending line and its 1-based line number when available.
+    """
+
+    def __init__(self, message: str, line: str | None = None,
+                 lineno: int | None = None) -> None:
+        self.line = line
+        self.lineno = lineno
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        if line is not None:
+            message = f"{message}: {line!r}"
+        super().__init__(message)
+
+
+class UnknownOpcodeError(AsmSyntaxError):
+    """Raised when an opcode mnemonic is not in the ISA table."""
+
+
+class OperandTypeError(ReproError):
+    """Raised when an instruction is built with ill-typed operands."""
+
+
+class EmulationError(ReproError):
+    """Raised for unrecoverable emulator failures.
+
+    Note that *recoverable* runtime events (segfaults, floating point
+    exceptions, reads of undefined state) are not exceptions: the sandbox
+    records them as counters because the cost function needs to observe
+    them (Eq. 11 of the paper).
+    """
+
+
+class StepLimitExceeded(EmulationError):
+    """Raised when execution exceeds the sandbox's step budget."""
+
+
+class SymbolicExecutionError(ReproError):
+    """Raised when a program cannot be converted to SMT constraints."""
+
+
+class ValidationError(ReproError):
+    """Raised when the validator cannot decide an equivalence query."""
+
+
+class SolverTimeoutError(ValidationError):
+    """Raised when the SAT solver exceeds its conflict budget."""
+
+
+class CompileError(ReproError):
+    """Raised by the mini-compiler for ill-formed source programs."""
+
+
+class SearchError(ReproError):
+    """Raised for invalid search configurations."""

@@ -1,0 +1,7 @@
+"""Micro-op performance model (the paper's 'actual runtime' oracle)."""
+
+from repro.perfsim.model import (ISSUE_WIDTH, ScheduleResult,
+                                 actual_runtime, simulate_cycles)
+
+__all__ = ["ISSUE_WIDTH", "ScheduleResult", "actual_runtime",
+           "simulate_cycles"]

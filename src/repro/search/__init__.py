@@ -1,0 +1,16 @@
+"""Stochastic search: moves, MCMC, phases, ranking, the STOKE pipeline."""
+
+from repro.search.config import SearchConfig
+from repro.search.mcmc import ChainResult, ChainStats, MCMCSampler
+from repro.search.moves import (DEFAULT_CONSTANT_BAG, EXCLUDED_FAMILIES,
+                                MoveGenerator, MoveKind)
+from repro.search.phases import (OptimizationPhase, PhaseResult,
+                                 SynthesisPhase)
+from repro.search.ranker import RankedRewrite, rerank
+from repro.search.stoke import Stoke, StokeResult
+
+__all__ = ["ChainResult", "ChainStats", "DEFAULT_CONSTANT_BAG",
+           "EXCLUDED_FAMILIES", "MCMCSampler", "MoveGenerator",
+           "MoveKind", "OptimizationPhase", "PhaseResult",
+           "RankedRewrite", "SearchConfig", "Stoke", "StokeResult",
+           "SynthesisPhase", "rerank"]

@@ -1,0 +1,80 @@
+"""Search configuration: the MCMC parameters of Figure 11.
+
+Defaults reproduce the paper's table exactly::
+
+    wsf 1   pc 0.16   pu 0.16
+    wfp 1   po 0.5    beta 0.1
+    wur 2   ps 0.16   ell 50
+    wm 3    pi 0.16
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cost.correctness import CostWeights
+from repro.errors import SearchError
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """All tunables of the stochastic search.
+
+    Attributes:
+        p_opcode / p_operand / p_swap / p_instruction: proposal move
+            probabilities (pc, po, ps, pi in the paper); normalized at
+            use, so they only need to be positive.
+        p_unused: probability that an Instruction move proposes the
+            UNUSED token (pu).
+        beta: inverse temperature of the Metropolis acceptance rule.
+        ell: fixed rewrite length (Section 4.3).
+        weights: cost-function weights (wsf, wfp, wur, wm).
+        improved_cost: use the improved equality metric of Section 4.6.
+        synthesis_proposals / optimization_proposals: per-chain budgets.
+        optimization_restarts: segments per optimization chain; each
+            segment restarts from the best verified-on-tests rewrite.
+        synthesis_chains / optimization_chains: independent chain counts
+            (the paper used a small cluster; chains here run serially).
+        testcase_count: number of generated testcases (32 in the paper).
+        rank_window: fraction over the minimum cost admitted to the
+            final re-ranking step (0.2 in Section 5).
+        max_validation_rounds: counterexample-refinement iterations
+            before a candidate is abandoned.
+    """
+
+    p_opcode: float = 0.16
+    p_operand: float = 0.5
+    p_swap: float = 0.16
+    p_instruction: float = 0.16
+    p_unused: float = 0.16
+    beta: float = 0.1
+    ell: int = 50
+    weights: CostWeights = field(default_factory=CostWeights)
+    improved_cost: bool = True
+    synthesis_proposals: int = 20_000
+    optimization_proposals: int = 20_000
+    optimization_restarts: int = 8
+    synthesis_chains: int = 1
+    optimization_chains: int = 1
+    testcase_count: int = 32
+    rank_window: float = 0.2
+    max_validation_rounds: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("p_opcode", "p_operand", "p_swap", "p_instruction"):
+            if getattr(self, name) < 0:
+                raise SearchError(f"{name} must be non-negative")
+        if not 0 <= self.p_unused <= 1:
+            raise SearchError("p_unused must be a probability")
+        if self.beta <= 0:
+            raise SearchError("beta must be positive")
+        if self.ell < 1:
+            raise SearchError("ell must be at least 1")
+
+    def move_distribution(self) -> tuple[float, float, float, float]:
+        """Normalized (opcode, operand, swap, instruction) weights."""
+        total = (self.p_opcode + self.p_operand + self.p_swap +
+                 self.p_instruction)
+        return (self.p_opcode / total, self.p_operand / total,
+                self.p_swap / total, self.p_instruction / total)

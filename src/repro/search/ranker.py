@@ -1,0 +1,39 @@
+"""Final re-ranking by modeled actual runtime (Figure 9, stage 6).
+
+The set of rewrites with final cost within ``rank_window`` (20% in the
+paper) of the minimum is re-ranked by the performance simulator — the
+substitute for the paper's JIT-and-measure step (Section 4.2) — and the
+best is returned to the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfsim.model import actual_runtime
+from repro.x86.program import Program
+
+
+@dataclass(frozen=True)
+class RankedRewrite:
+    """One re-ranked candidate."""
+
+    program: Program
+    cost: int
+    cycles: int
+
+
+def rerank(candidates: list[tuple[int, Program]], *,
+           window: float = 0.2) -> list[RankedRewrite]:
+    """Re-rank cost-window candidates by modeled cycles, best first."""
+    if not candidates:
+        return []
+    min_cost = min(cost for cost, _ in candidates)
+    threshold = min_cost + abs(min_cost) * window + 1
+    admitted = [(cost, program) for cost, program in candidates
+                if cost <= threshold]
+    ranked = [RankedRewrite(program=program, cost=cost,
+                            cycles=actual_runtime(program.compact()))
+              for cost, program in admitted]
+    ranked.sort(key=lambda r: (r.cycles, r.cost))
+    return ranked

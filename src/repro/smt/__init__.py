@@ -1,0 +1,13 @@
+"""Built-in SMT stack: bit-vector terms, bit-blasting, CDCL SAT.
+
+The validator's STP substitute (Section 5.2 of the paper). Pure Python;
+no external solver is required.
+"""
+
+from repro.smt.bitvec import BV, Context, topological
+from repro.smt.sat import CNF, Solver, solve_cnf
+from repro.smt.solver import BVSolver, CheckOutcome, SatResult
+from repro.smt.tseitin import BitBlaster
+
+__all__ = ["BV", "BVSolver", "BitBlaster", "CNF", "CheckOutcome",
+           "Context", "SatResult", "Solver", "solve_cnf", "topological"]

@@ -1,0 +1,322 @@
+"""A CDCL SAT solver: two-watched literals, VSIDS, 1-UIP learning.
+
+This is the decision-procedure core of the STP substitute. Literals use
+DIMACS convention: variable ``v`` (a positive int) appears as ``v`` or
+``-v``. The solver is deliberately self-contained — no external solver
+exists in this environment — and is tuned for the bit-blasted
+equivalence queries the validator produces: heavily structured, mostly
+UNSAT instances in the tens of thousands of clauses.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import SolverTimeoutError
+
+
+class CNF:
+    """A clause database under construction."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: list[int]) -> None:
+        """Add a clause; empty clauses make the formula trivially UNSAT."""
+        self.clauses.append(list(literals))
+
+
+class Solver:
+    """CDCL solver over a fixed clause database.
+
+    Usage::
+
+        solver = Solver(cnf)
+        result = solver.solve()          # True (SAT), False (UNSAT)
+        model = solver.model             # var -> bool, valid when SAT
+    """
+
+    UNASSIGNED = 0
+    TRUE = 1
+    FALSE = -1
+
+    def __init__(self, cnf: CNF, *, max_conflicts: int = 2_000_000) -> None:
+        self.num_vars = cnf.num_vars
+        self.max_conflicts = max_conflicts
+        n = self.num_vars + 1
+        self.assign = [self.UNASSIGNED] * n
+        self.level = [0] * n
+        self.reason: list[list[int] | None] = [None] * n
+        self.activity = [0.0] * n
+        self.phase = [False] * n
+        self.trail: list[int] = []          # literals in assignment order
+        self.trail_lim: list[int] = []      # trail indices per decision level
+        self.prop_head = 0
+        self.watches: dict[int, list[list[int]]] = {}
+        self.clauses: list[list[int]] = []
+        self.model: dict[int, bool] = {}
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._unsat = False
+        # lazy max-heap over (-activity, var); stale entries are skipped
+        self._heap: list[tuple[float, int]] = \
+            [(0.0, v) for v in range(1, self.num_vars + 1)]
+        heapq.heapify(self._heap)
+        for clause in cnf.clauses:
+            self._attach(clause)
+
+    # -- clause management ------------------------------------------------------
+
+    def _attach(self, clause: list[int]) -> None:
+        clause = self._dedupe(clause)
+        if clause is None:                 # tautology
+            return
+        if not clause:
+            self._unsat = True
+            return
+        if len(clause) == 1:
+            lit = clause[0]
+            if self._value(lit) == self.FALSE:
+                self._unsat = True
+            elif self._value(lit) == self.UNASSIGNED:
+                self._enqueue(lit, None)
+            return
+        self.clauses.append(clause)
+        self.watches.setdefault(clause[0], []).append(clause)
+        self.watches.setdefault(clause[1], []).append(clause)
+
+    @staticmethod
+    def _dedupe(clause: list[int]) -> list[int] | None:
+        seen: set[int] = set()
+        result = []
+        for lit in clause:
+            if -lit in seen:
+                return None
+            if lit not in seen:
+                seen.add(lit)
+                result.append(lit)
+        return result
+
+    # -- assignment primitives ------------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        v = self.assign[abs(lit)]
+        return v if lit > 0 else -v
+
+    def _enqueue(self, lit: int, reason: list[int] | None) -> None:
+        var = abs(lit)
+        self.assign[var] = self.TRUE if lit > 0 else self.FALSE
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.phase[var] = lit > 0
+        self.trail.append(lit)
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self.prop_head < len(self.trail):
+            lit = self.trail[self.prop_head]
+            self.prop_head += 1
+            falsified = -lit
+            watchers = self.watches.get(falsified)
+            if not watchers:
+                continue
+            kept: list[list[int]] = []
+            i = 0
+            while i < len(watchers):
+                clause = watchers[i]
+                i += 1
+                # ensure the falsified literal is in slot 1
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == self.TRUE:
+                    kept.append(clause)
+                    continue
+                # search replacement watch
+                found = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != self.FALSE:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches.setdefault(clause[1], []) \
+                            .append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                kept.append(clause)
+                if self._value(first) == self.FALSE:
+                    kept.extend(watchers[i:])
+                    self.watches[falsified] = kept
+                    return clause
+                self._enqueue(first, clause)
+            self.watches[falsified] = kept
+        return None
+
+    # -- conflict analysis ------------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self._var_inc
+        if self.activity[var] > 1e100:
+            for i in range(1, self.num_vars + 1):
+                self.activity[i] *= 1e-100
+            self._var_inc *= 1e-100
+            self._heap = [(-self.activity[v], v)
+                          for v in range(1, self.num_vars + 1)
+                          if self.assign[v] == self.UNASSIGNED]
+            heapq.heapify(self._heap)
+            return
+        heapq.heappush(self._heap, (-self.activity[var], var))
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP learning; returns (learned clause, backjump level)."""
+        learned: list[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = 0
+        reason: list[int] | None = conflict
+        index = len(self.trail) - 1
+        current_level = len(self.trail_lim)
+        while True:
+            assert reason is not None
+            for q in reason:
+                var = abs(q)
+                if q == lit or seen[var] or self.level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self.level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(q)
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            lit = self.trail[index]
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            reason = self.reason[var]
+        learned.insert(0, -lit)
+        learned = self._minimize(learned, seen)
+        if len(learned) == 1:
+            return learned, 0
+        # backjump to the second-highest level in the clause
+        max_i = 1
+        for i in range(2, len(learned)):
+            if self.level[abs(learned[i])] > self.level[abs(learned[max_i])]:
+                max_i = i
+        learned[1], learned[max_i] = learned[max_i], learned[1]
+        return learned, self.level[abs(learned[1])]
+
+    def _minimize(self, learned: list[int], seen: list[bool]) -> list[int]:
+        """Cheap recursive clause minimization (self-subsumption)."""
+        marked = set(abs(lit) for lit in learned)
+        result = [learned[0]]
+        for lit in learned[1:]:
+            reason = self.reason[abs(lit)]
+            if reason is None:
+                result.append(lit)
+                continue
+            if all(abs(q) in marked or self.level[abs(q)] == 0
+                   for q in reason if q != -lit):
+                continue
+            result.append(lit)
+        return result
+
+    def _backtrack(self, target_level: int) -> None:
+        if len(self.trail_lim) <= target_level:
+            return
+        limit = self.trail_lim[target_level]
+        for lit in reversed(self.trail[limit:]):
+            var = abs(lit)
+            self.assign[var] = self.UNASSIGNED
+            heapq.heappush(self._heap, (-self.activity[var], var))
+        del self.trail[limit:]
+        del self.trail_lim[target_level:]
+        self.prop_head = min(self.prop_head, len(self.trail))
+
+    # -- decisions ------------------------------------------------------------------------
+
+    def _decide(self) -> int:
+        while self._heap:
+            act, var = heapq.heappop(self._heap)
+            if self.assign[var] != self.UNASSIGNED:
+                continue
+            if -act != self.activity[var]:      # stale entry
+                heapq.heappush(self._heap, (-self.activity[var], var))
+                continue
+            return var if self.phase[var] else -var
+        for var in range(1, self.num_vars + 1):     # heap drained; rebuild
+            if self.assign[var] == self.UNASSIGNED:
+                self._heap = [(-self.activity[v], v)
+                              for v in range(1, self.num_vars + 1)
+                              if self.assign[v] == self.UNASSIGNED]
+                heapq.heapify(self._heap)
+                return self._decide()
+        return 0
+
+    # -- main loop --------------------------------------------------------------------------
+
+    def solve(self, assumptions: list[int] | None = None) -> bool:
+        """Decide satisfiability. Populates :attr:`model` when SAT.
+
+        Raises:
+            SolverTimeoutError: if the conflict budget is exhausted.
+        """
+        if self._unsat:
+            return False
+        conflicts = 0
+        restart_limit = 100
+        restart_count = 0
+        for lit in assumptions or []:
+            if self._value(lit) == self.FALSE:
+                return False
+            if self._value(lit) == self.UNASSIGNED:
+                self._enqueue(lit, None)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflicts += 1
+                restart_count += 1
+                if conflicts > self.max_conflicts:
+                    raise SolverTimeoutError(
+                        f"exceeded {self.max_conflicts} conflicts")
+                if not self.trail_lim:
+                    return False
+                learned, backjump = self._analyze(conflict)
+                self._backtrack(backjump)
+                if len(learned) == 1:
+                    self._enqueue(learned[0], None)
+                else:
+                    self.clauses.append(learned)
+                    self.watches.setdefault(learned[0], []).append(learned)
+                    self.watches.setdefault(learned[1], []).append(learned)
+                    self._enqueue(learned[0], learned)
+                self._var_inc /= self._var_decay
+                if restart_count >= restart_limit:
+                    restart_count = 0
+                    restart_limit = int(restart_limit * 1.5)
+                    self._backtrack(0)
+                continue
+            lit = self._decide()
+            if lit == 0:
+                self.model = {v: self.assign[v] == self.TRUE
+                              for v in range(1, self.num_vars + 1)}
+                return True
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(lit, None)
+
+
+def solve_cnf(cnf: CNF, *, max_conflicts: int = 2_000_000) \
+        -> tuple[bool, dict[int, bool]]:
+    """One-shot convenience: returns (is_sat, model)."""
+    solver = Solver(cnf, max_conflicts=max_conflicts)
+    sat = solver.solve()
+    return sat, solver.model if sat else {}

@@ -1,0 +1,255 @@
+"""Tseitin bit-blasting of bit-vector DAGs to CNF.
+
+Bits are represented as Python ``bool`` for constants or a DIMACS
+literal (int) otherwise. Gate construction is cached so the blasted
+circuit preserves the sharing of the expression DAG.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SymbolicExecutionError
+from repro.smt.bitvec import BV, Context, topological
+from repro.smt.sat import CNF
+
+Bit = bool | int
+
+
+def _neg(bit: Bit) -> Bit:
+    if isinstance(bit, bool):
+        return not bit
+    return -bit
+
+
+class BitBlaster:
+    """Lowers BV expressions into a growing CNF instance."""
+
+    def __init__(self, ctx: Context) -> None:
+        self.ctx = ctx
+        self.cnf = CNF()
+        self._bits: dict[int, list[Bit]] = {}
+        self._var_bits: dict[str, list[int]] = {}
+        self._and_cache: dict[tuple[int, int], int] = {}
+        self._xor_cache: dict[tuple[int, int], int] = {}
+
+    # -- gates -------------------------------------------------------------------
+
+    def g_and(self, a: Bit, b: Bit) -> Bit:
+        if a is False or b is False:
+            return False
+        if a is True:
+            return b
+        if b is True:
+            return a
+        assert isinstance(a, int) and isinstance(b, int)
+        if a == b:
+            return a
+        if a == -b:
+            return False
+        key = (min(a, b), max(a, b))
+        cached = self._and_cache.get(key)
+        if cached is not None:
+            return cached
+        c = self.cnf.new_var()
+        self.cnf.add_clause([-c, a])
+        self.cnf.add_clause([-c, b])
+        self.cnf.add_clause([c, -a, -b])
+        self._and_cache[key] = c
+        return c
+
+    def g_or(self, a: Bit, b: Bit) -> Bit:
+        return _neg(self.g_and(_neg(a), _neg(b)))
+
+    def g_xor(self, a: Bit, b: Bit) -> Bit:
+        if a is False:
+            return b
+        if b is False:
+            return a
+        if a is True:
+            return _neg(b)
+        if b is True:
+            return _neg(a)
+        assert isinstance(a, int) and isinstance(b, int)
+        if a == b:
+            return False
+        if a == -b:
+            return True
+        key = (min(a, b), max(a, b))
+        cached = self._xor_cache.get(key)
+        if cached is not None:
+            return cached
+        c = self.cnf.new_var()
+        self.cnf.add_clause([-c, a, b])
+        self.cnf.add_clause([-c, -a, -b])
+        self.cnf.add_clause([c, -a, b])
+        self.cnf.add_clause([c, a, -b])
+        self._xor_cache[key] = c
+        return c
+
+    def g_ite(self, cond: Bit, then: Bit, otherwise: Bit) -> Bit:
+        if cond is True:
+            return then
+        if cond is False:
+            return otherwise
+        if then is otherwise:
+            return then
+        # mux as (cond & then) | (~cond & otherwise)
+        return self.g_or(self.g_and(cond, then),
+                         self.g_and(_neg(cond), otherwise))
+
+    def _full_adder(self, a: Bit, b: Bit, cin: Bit) -> tuple[Bit, Bit]:
+        axb = self.g_xor(a, b)
+        total = self.g_xor(axb, cin)
+        carry = self.g_or(self.g_and(a, b), self.g_and(axb, cin))
+        return total, carry
+
+    def _ripple_add(self, a: list[Bit], b: list[Bit],
+                    carry: Bit) -> tuple[list[Bit], Bit]:
+        out: list[Bit] = []
+        for ai, bi in zip(a, b):
+            s, carry = self._full_adder(ai, bi, carry)
+            out.append(s)
+        return out, carry
+
+    # -- node lowering ------------------------------------------------------------
+
+    def blast(self, node: BV) -> list[Bit]:
+        """Bits of ``node``, LSB first, lowering lazily."""
+        if node.id in self._bits:
+            return self._bits[node.id]
+        for n in topological([node]):
+            if n.id not in self._bits:
+                self._bits[n.id] = self._lower(n)
+        return self._bits[node.id]
+
+    def assert_true(self, node: BV) -> None:
+        """Add clauses forcing a 1-bit expression to be true."""
+        assert node.width == 1
+        (bit,) = self.blast(node)
+        if bit is True:
+            return
+        if bit is False:
+            self.cnf.add_clause([])            # trivially UNSAT
+            return
+        self.cnf.add_clause([bit])
+
+    def var_value(self, name: str, model: dict[int, bool]) -> int:
+        """Reassemble a variable's integer value from a SAT model."""
+        bits = self._var_bits.get(name)
+        if bits is None:
+            return 0
+        value = 0
+        for i, var in enumerate(bits):
+            if model.get(var, False):
+                value |= 1 << i
+        return value
+
+    # -- lowering per op ------------------------------------------------------------
+
+    def _lower(self, n: BV) -> list[Bit]:
+        op = n.op
+        if op == "const":
+            return [bool((n.value >> i) & 1) for i in range(n.width)]
+        if op == "var":
+            bits = [self.cnf.new_var() for _ in range(n.width)]
+            self._var_bits[n.name] = bits
+            return bits
+        args = [self._bits[a.id] for a in n.args]
+        width = n.width
+        if op == "and":
+            return [self.g_and(x, y) for x, y in zip(*args)]
+        if op == "or":
+            return [self.g_or(x, y) for x, y in zip(*args)]
+        if op == "xor":
+            return [self.g_xor(x, y) for x, y in zip(*args)]
+        if op == "not":
+            return [_neg(x) for x in args[0]]
+        if op == "add":
+            return self._ripple_add(args[0], args[1], False)[0]
+        if op == "sub":
+            inverted = [_neg(x) for x in args[1]]
+            return self._ripple_add(args[0], inverted, True)[0]
+        if op == "neg":
+            zeros: list[Bit] = [False] * width
+            inverted = [_neg(x) for x in args[0]]
+            return self._ripple_add(zeros, inverted, True)[0]
+        if op == "mul":
+            return self._multiply(args[0], args[1], width)
+        if op == "eq":
+            diff = [self.g_xor(x, y) for x, y in zip(*args)]
+            return [_neg(self._reduce_or(diff))]
+        if op == "ult":
+            return [self._ult(args[0], args[1])]
+        if op == "slt":
+            a = list(args[0])
+            b = list(args[1])
+            a[-1] = _neg(a[-1])
+            b[-1] = _neg(b[-1])
+            return [self._ult(a, b)]
+        if op == "ite":
+            cond = args[0][0]
+            return [self.g_ite(cond, t, e)
+                    for t, e in zip(args[1], args[2])]
+        if op == "extract":
+            hi, lo = n.params
+            return args[0][lo:hi + 1]
+        if op == "concat":
+            return list(args[1]) + list(args[0])
+        if op == "zext":
+            pad: list[Bit] = [False] * (width - len(args[0]))
+            return list(args[0]) + pad
+        if op == "sext":
+            sign = args[0][-1]
+            return list(args[0]) + [sign] * (width - len(args[0]))
+        if op in ("shl", "lshr", "ashr"):
+            return self._shift(op, args[0], args[1], width)
+        raise SymbolicExecutionError(f"cannot bit-blast op {op!r}")
+
+    def _reduce_or(self, bits: list[Bit]) -> Bit:
+        result: Bit = False
+        # balanced tree keeps gate depth logarithmic
+        layer = list(bits)
+        while len(layer) > 1:
+            nxt = []
+            for i in range(0, len(layer) - 1, 2):
+                nxt.append(self.g_or(layer[i], layer[i + 1]))
+            if len(layer) % 2:
+                nxt.append(layer[-1])
+            layer = nxt
+        if layer:
+            result = layer[0]
+        return result
+
+    def _ult(self, a: list[Bit], b: list[Bit]) -> Bit:
+        # a < b  iff  the subtraction a - b borrows (carry out is 0)
+        inverted = [_neg(x) for x in b]
+        _, carry = self._ripple_add(a, inverted, True)
+        return _neg(carry)
+
+    def _multiply(self, a: list[Bit], b: list[Bit],
+                  width: int) -> list[Bit]:
+        acc: list[Bit] = [False] * width
+        for i, bi in enumerate(b):
+            if bi is False:
+                continue
+            row: list[Bit] = [False] * i
+            row += [self.g_and(bi, aj) for aj in a[:width - i]]
+            acc, _ = self._ripple_add(acc, row, False)
+        return acc
+
+    def _shift(self, op: str, value: list[Bit], count: list[Bit],
+               width: int) -> list[Bit]:
+        fill: Bit = value[-1] if op == "ashr" else False
+        result = list(value)
+        stage = 0
+        while (1 << stage) < width and stage < len(count):
+            sel = count[stage]
+            amount = 1 << stage
+            if op == "shl":
+                shifted = [False] * amount + result[:width - amount]
+            else:
+                shifted = result[amount:] + [fill] * amount
+            result = [self.g_ite(sel, s, r)
+                      for s, r in zip(shifted, result)]
+            stage += 1
+        overflow = self._reduce_or(count[stage:])
+        return [self.g_ite(overflow, fill, r) for r in result]

@@ -1,0 +1,9 @@
+"""The evaluation suite: p01..p25, mont, saxpy, list (Section 6)."""
+
+from repro.suite.hackers_delight import (HD_BUILDERS, STARRED,
+                                         SYNTHESIS_TIMEOUT)
+from repro.suite.registry import (Benchmark, all_benchmarks, benchmark,
+                                  hd_benchmarks)
+
+__all__ = ["Benchmark", "HD_BUILDERS", "STARRED", "SYNTHESIS_TIMEOUT",
+           "all_benchmarks", "benchmark", "hd_benchmarks"]

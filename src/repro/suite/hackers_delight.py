@@ -1,0 +1,429 @@
+"""The 25 Hacker's Delight benchmark kernels (Section 6.1).
+
+Gulwani et al. identified these 25 programs as a superoptimization
+benchmark; the paper uses the C implementations from the original text.
+Each kernel is given here as a mini-C AST (compiled by the O0 and -O3
+code generators) plus a pure-Python reference for differential tests.
+
+All kernels operate on 32-bit integers.
+"""
+
+from __future__ import annotations
+
+from repro.cc.ast import (Assign, Bin, BinOp, Cast, Const, Function,
+                          Output, Select, Un, UnOp, Var, params32)
+
+M32 = 0xFFFFFFFF
+
+
+def _v(name: str) -> Var:
+    return Var(name)
+
+
+def _c(value: int) -> Const:
+    return Const(value)
+
+
+def _b(op: BinOp, a, b) -> Bin:
+    return Bin(op, a, b)
+
+
+def _sub1(x) -> Bin:
+    return _b(BinOp.SUB, x, _c(1))
+
+
+def _add1(x) -> Bin:
+    return _b(BinOp.ADD, x, _c(1))
+
+
+def _fn(name: str, params: tuple, *stmts, out: str = "r") -> Function:
+    return Function(name, params, tuple(stmts), (Output(out, "eax"),))
+
+
+def _signed(x: int) -> int:
+    return x - (1 << 32) if x & 0x80000000 else x
+
+
+# --- AST builders, one per kernel -------------------------------------------
+
+def p01_ast() -> Function:
+    """Turn off the rightmost 1 bit: x & (x - 1)."""
+    return _fn("p01", params32("x"),
+               Assign("r", _b(BinOp.AND, _v("x"), _sub1(_v("x")))))
+
+
+def p02_ast() -> Function:
+    """Test if x is of the form 2**n - 1: x & (x + 1)."""
+    return _fn("p02", params32("x"),
+               Assign("r", _b(BinOp.AND, _v("x"), _add1(_v("x")))))
+
+
+def p03_ast() -> Function:
+    """Isolate the rightmost 1 bit: x & -x."""
+    return _fn("p03", params32("x"),
+               Assign("r", _b(BinOp.AND, _v("x"), Un(UnOp.NEG, _v("x")))))
+
+
+def p04_ast() -> Function:
+    """Mask for the rightmost 1 and the trailing 0s: x ^ (x - 1)."""
+    return _fn("p04", params32("x"),
+               Assign("r", _b(BinOp.XOR, _v("x"), _sub1(_v("x")))))
+
+
+def p05_ast() -> Function:
+    """Right-propagate the rightmost 1 bit: x | (x - 1)."""
+    return _fn("p05", params32("x"),
+               Assign("r", _b(BinOp.OR, _v("x"), _sub1(_v("x")))))
+
+
+def p06_ast() -> Function:
+    """Turn on the rightmost 0 bit: x | (x + 1)."""
+    return _fn("p06", params32("x"),
+               Assign("r", _b(BinOp.OR, _v("x"), _add1(_v("x")))))
+
+
+def p07_ast() -> Function:
+    """Isolate the rightmost 0 bit: ~x & (x + 1)."""
+    return _fn("p07", params32("x"),
+               Assign("r", _b(BinOp.AND, Un(UnOp.NOT, _v("x")),
+                              _add1(_v("x")))))
+
+
+def p08_ast() -> Function:
+    """Mask for the trailing 0s: ~x & (x - 1)."""
+    return _fn("p08", params32("x"),
+               Assign("r", _b(BinOp.AND, Un(UnOp.NOT, _v("x")),
+                              _sub1(_v("x")))))
+
+
+def p09_ast() -> Function:
+    """Absolute value: (x ^ (x >> 31)) - (x >> 31)."""
+    return _fn("p09", params32("x"),
+               Assign("t", _b(BinOp.SHR_S, _v("x"), _c(31))),
+               Assign("r", _b(BinOp.SUB,
+                              _b(BinOp.XOR, _v("x"), _v("t")), _v("t"))))
+
+
+def p10_ast() -> Function:
+    """Test nlz(x) == nlz(y): (x & y) > (x ^ y) unsigned."""
+    return _fn("p10", params32("x", "y"),
+               Assign("r", _b(BinOp.LT_U,
+                              _b(BinOp.XOR, _v("x"), _v("y")),
+                              _b(BinOp.AND, _v("x"), _v("y")))))
+
+
+def p11_ast() -> Function:
+    """Test nlz(x) < nlz(y): (x & ~y) > y unsigned."""
+    return _fn("p11", params32("x", "y"),
+               Assign("r", _b(BinOp.LT_U, _v("y"),
+                              _b(BinOp.AND, _v("x"),
+                                 Un(UnOp.NOT, _v("y"))))))
+
+
+def p12_ast() -> Function:
+    """Test nlz(x) <= nlz(y): (y & ~x) <= x unsigned."""
+    return _fn("p12", params32("x", "y"),
+               Assign("t", _b(BinOp.LT_U, _v("x"),
+                              _b(BinOp.AND, _v("y"),
+                                 Un(UnOp.NOT, _v("x"))))),
+               Assign("r", _b(BinOp.XOR, _v("t"), _c(1))))
+
+
+def p13_ast() -> Function:
+    """Sign function: (x >>s 31) | (-x >>u 31)."""
+    return _fn("p13", params32("x"),
+               Assign("r", _b(BinOp.OR,
+                              _b(BinOp.SHR_S, _v("x"), _c(31)),
+                              _b(BinOp.SHR_U,
+                                 Un(UnOp.NEG, _v("x")), _c(31)))))
+
+
+def p14_ast() -> Function:
+    """Floor of average without overflow: (x & y) + ((x ^ y) >>u 1)."""
+    return _fn("p14", params32("x", "y"),
+               Assign("r", _b(BinOp.ADD,
+                              _b(BinOp.AND, _v("x"), _v("y")),
+                              _b(BinOp.SHR_U,
+                                 _b(BinOp.XOR, _v("x"), _v("y")),
+                                 _c(1)))))
+
+
+def p15_ast() -> Function:
+    """Ceil of average without overflow: (x | y) - ((x ^ y) >>u 1)."""
+    return _fn("p15", params32("x", "y"),
+               Assign("r", _b(BinOp.SUB,
+                              _b(BinOp.OR, _v("x"), _v("y")),
+                              _b(BinOp.SHR_U,
+                                 _b(BinOp.XOR, _v("x"), _v("y")),
+                                 _c(1)))))
+
+
+def p16_ast() -> Function:
+    """Max of two signed ints: x ^ ((x ^ y) & -(x < y))."""
+    return _fn("p16", params32("x", "y"),
+               Assign("c", _b(BinOp.LT_S, _v("x"), _v("y"))),
+               Assign("r", _b(BinOp.XOR, _v("x"),
+                              _b(BinOp.AND,
+                                 _b(BinOp.XOR, _v("x"), _v("y")),
+                                 Un(UnOp.NEG, _v("c"))))))
+
+
+def p17_ast() -> Function:
+    """Turn off the rightmost string of 1s: ((x | (x-1)) + 1) & x."""
+    return _fn("p17", params32("x"),
+               Assign("r", _b(BinOp.AND,
+                              _add1(_b(BinOp.OR, _v("x"),
+                                       _sub1(_v("x")))),
+                              _v("x"))))
+
+
+def p18_ast() -> Function:
+    """Is x a power of 2 (0/1 result)."""
+    return _fn("p18", params32("x"),
+               Assign("a", _b(BinOp.EQ,
+                              _b(BinOp.AND, _v("x"), _sub1(_v("x"))),
+                              _c(0))),
+               Assign("b", _b(BinOp.NE, _v("x"), _c(0))),
+               Assign("r", _b(BinOp.AND, _v("a"), _v("b"))))
+
+
+def p19_ast() -> Function:
+    """Exchange two bit fields: t = (x ^ (x >>u k)) & m; x ^ t ^ (t<<k)."""
+    return _fn("p19", params32("x", "m", "k"),
+               Assign("t", _b(BinOp.AND,
+                              _b(BinOp.XOR, _v("x"),
+                                 _b(BinOp.SHR_U, _v("x"), _v("k"))),
+                              _v("m"))),
+               Assign("r", _b(BinOp.XOR,
+                              _b(BinOp.XOR, _v("x"), _v("t")),
+                              _b(BinOp.SHL, _v("t"), _v("k")))))
+
+
+def p20_ast() -> Function:
+    """Next higher number with the same number of 1 bits."""
+    return _fn("p20", params32("x"),
+               Assign("s", _b(BinOp.AND, _v("x"),
+                              Un(UnOp.NEG, _v("x")))),
+               Assign("rr", _b(BinOp.ADD, _v("x"), _v("s"))),
+               Assign("y", _b(BinOp.XOR, _v("x"), _v("rr"))),
+               Assign("y2", _b(BinOp.DIV_U,
+                               _b(BinOp.SHR_U, _v("y"), _c(2)),
+                               _v("s"))),
+               Assign("r", _b(BinOp.OR, _v("rr"), _v("y2"))))
+
+
+def p21_ast() -> Function:
+    """Cycle through three values a, b, c (Figure 13)."""
+    x, a, b, c = _v("x"), _v("a"), _v("b"), _v("c")
+    return _fn("p21", params32("x", "a", "b", "c"),
+               Assign("e1", _b(BinOp.EQ, x, c)),
+               Assign("e2", _b(BinOp.EQ, x, a)),
+               Assign("r", _b(BinOp.XOR,
+                              _b(BinOp.XOR,
+                                 _b(BinOp.AND, Un(UnOp.NEG, _v("e1")),
+                                    _b(BinOp.XOR, a, c)),
+                                 _b(BinOp.AND, Un(UnOp.NEG, _v("e2")),
+                                    _b(BinOp.XOR, b, c))),
+                              c)))
+
+
+def p22_ast() -> Function:
+    """Parity of x (xor-fold)."""
+    body = [Assign("y", _b(BinOp.XOR, _v("x"),
+                           _b(BinOp.SHR_U, _v("x"), _c(1))))]
+    for shift in (2, 4, 8, 16):
+        body.append(Assign("y", _b(BinOp.XOR, _v("y"),
+                                   _b(BinOp.SHR_U, _v("y"),
+                                      _c(shift)))))
+    body.append(Assign("r", _b(BinOp.AND, _v("y"), _c(1))))
+    return _fn("p22", params32("x"), *body)
+
+
+def p23_ast() -> Function:
+    """Population count (SWAR)."""
+    x = _v("x")
+    return _fn(
+        "p23", params32("x"),
+        Assign("x", _b(BinOp.SUB, x,
+                       _b(BinOp.AND, _b(BinOp.SHR_U, x, _c(1)),
+                          _c(0x55555555)))),
+        Assign("x", _b(BinOp.ADD,
+                       _b(BinOp.AND, x, _c(0x33333333)),
+                       _b(BinOp.AND, _b(BinOp.SHR_U, x, _c(2)),
+                          _c(0x33333333)))),
+        Assign("x", _b(BinOp.AND,
+                       _b(BinOp.ADD, x, _b(BinOp.SHR_U, x, _c(4))),
+                       _c(0x0F0F0F0F))),
+        Assign("r", _b(BinOp.SHR_U,
+                       _b(BinOp.MUL, x, _c(0x01010101)), _c(24))))
+
+
+def p24_ast() -> Function:
+    """Round up to the next highest power of 2."""
+    body = [Assign("x", _sub1(_v("x")))]
+    for shift in (1, 2, 4, 8, 16):
+        body.append(Assign("x", _b(BinOp.OR, _v("x"),
+                                   _b(BinOp.SHR_U, _v("x"),
+                                      _c(shift)))))
+    body.append(Assign("r", _add1(_v("x"))))
+    return _fn("p24", params32("x"), *body)
+
+
+def p25_ast() -> Function:
+    """Higher-order half of the 64-bit product (16-bit halves)."""
+    x, y = _v("x"), _v("y")
+    return _fn(
+        "p25", params32("x", "y"),
+        Assign("u0", _b(BinOp.AND, x, _c(0xFFFF))),
+        Assign("u1", _b(BinOp.SHR_U, x, _c(16))),
+        Assign("v0", _b(BinOp.AND, y, _c(0xFFFF))),
+        Assign("v1", _b(BinOp.SHR_U, y, _c(16))),
+        Assign("w0", _b(BinOp.MUL, _v("u0"), _v("v0"))),
+        Assign("t", _b(BinOp.ADD, _b(BinOp.MUL, _v("u1"), _v("v0")),
+                       _b(BinOp.SHR_U, _v("w0"), _c(16)))),
+        Assign("w1", _b(BinOp.AND, _v("t"), _c(0xFFFF))),
+        Assign("w2", _b(BinOp.SHR_U, _v("t"), _c(16))),
+        Assign("w1b", _b(BinOp.ADD, _b(BinOp.MUL, _v("u0"), _v("v1")),
+                         _v("w1"))),
+        Assign("r", _b(BinOp.ADD,
+                       _b(BinOp.ADD, _b(BinOp.MUL, _v("u1"), _v("v1")),
+                          _v("w2")),
+                       _b(BinOp.SHR_U, _v("w1b"), _c(16)))))
+
+
+# --- Python references (independent implementations for testing) -----------
+
+def p01_ref(x: int) -> int:
+    return x & (x - 1) & M32
+
+
+def p02_ref(x: int) -> int:
+    return x & (x + 1) & M32
+
+
+def p03_ref(x: int) -> int:
+    return x & (-x & M32)
+
+
+def p04_ref(x: int) -> int:
+    return (x ^ (x - 1)) & M32
+
+
+def p05_ref(x: int) -> int:
+    return (x | (x - 1)) & M32
+
+
+def p06_ref(x: int) -> int:
+    return (x | (x + 1)) & M32
+
+
+def p07_ref(x: int) -> int:
+    return (~x & (x + 1)) & M32
+
+
+def p08_ref(x: int) -> int:
+    return (~x & (x - 1)) & M32
+
+
+def p09_ref(x: int) -> int:
+    return abs(_signed(x)) & M32
+
+
+def p10_ref(x: int, y: int) -> int:
+    return 1 if (x ^ y) < (x & y) else 0
+
+
+def p11_ref(x: int, y: int) -> int:
+    return 1 if y < (x & ~y & M32) else 0
+
+
+def p12_ref(x: int, y: int) -> int:
+    return 0 if x < (y & ~x & M32) else 1
+
+
+def p13_ref(x: int) -> int:
+    s = _signed(x)
+    return (1 if s > 0 else 0 if s == 0 else M32)
+
+
+def p14_ref(x: int, y: int) -> int:
+    return (x + y) // 2
+
+
+def p15_ref(x: int, y: int) -> int:
+    return (x + y + 1) // 2
+
+
+def p16_ref(x: int, y: int) -> int:
+    return max(_signed(x), _signed(y)) & M32
+
+
+def p17_ref(x: int) -> int:
+    return (((x | (x - 1)) + 1) & x) & M32
+
+
+def p18_ref(x: int) -> int:
+    return 1 if x != 0 and (x & (x - 1)) == 0 else 0
+
+
+def p19_ref(x: int, m: int, k: int) -> int:
+    k &= 31
+    t = ((x ^ (x >> k)) & m) & M32
+    return (x ^ t ^ ((t << k) & M32)) & M32
+
+
+def p20_ref(x: int) -> int:
+    s = x & (-x & M32)
+    r = (x + s) & M32
+    y = x ^ r
+    y2 = ((y >> 2) // s) if s else 0
+    return (r | y2) & M32
+
+
+def p21_ref(x: int, a: int, b: int, c: int) -> int:
+    e1 = (-(1 if x == c else 0)) & M32
+    e2 = (-(1 if x == a else 0)) & M32
+    return ((e1 & (a ^ c)) ^ (e2 & (b ^ c)) ^ c) & M32
+
+
+def p22_ref(x: int) -> int:
+    return bin(x).count("1") & 1
+
+
+def p23_ref(x: int) -> int:
+    return bin(x).count("1")
+
+
+def p24_ref(x: int) -> int:
+    if x <= 1:
+        return x and (1 if x == 1 else 0)
+    return (1 << (x - 1).bit_length()) & M32
+
+
+def p25_ref(x: int, y: int) -> int:
+    return (x * y) >> 32
+
+
+HD_BUILDERS = {
+    "p01": (p01_ast, p01_ref), "p02": (p02_ast, p02_ref),
+    "p03": (p03_ast, p03_ref), "p04": (p04_ast, p04_ref),
+    "p05": (p05_ast, p05_ref), "p06": (p06_ast, p06_ref),
+    "p07": (p07_ast, p07_ref), "p08": (p08_ast, p08_ref),
+    "p09": (p09_ast, p09_ref), "p10": (p10_ast, p10_ref),
+    "p11": (p11_ast, p11_ref), "p12": (p12_ast, p12_ref),
+    "p13": (p13_ast, p13_ref), "p14": (p14_ast, p14_ref),
+    "p15": (p15_ast, p15_ref), "p16": (p16_ast, p16_ref),
+    "p17": (p17_ast, p17_ref), "p18": (p18_ast, p18_ref),
+    "p19": (p19_ast, p19_ref), "p20": (p20_ast, p20_ref),
+    "p21": (p21_ast, p21_ref), "p22": (p22_ast, p22_ref),
+    "p23": (p23_ast, p23_ref), "p24": (p24_ast, p24_ref),
+    "p25": (p25_ast, p25_ref),
+}
+
+#: Kernels the paper marks with a star in Figure 10 (STOKE found an
+#: algorithmically distinct rewrite).
+STARRED = frozenset({"p18", "p21", "p22", "p23", "p25"})
+
+#: Kernels whose synthesis timed out in Figure 12 (single-bit-signal
+#: targets; the optimization phase still succeeds, Section 6.3).
+SYNTHESIS_TIMEOUT = frozenset({"p19", "p20", "p24"})

@@ -1,0 +1,159 @@
+"""The non-Hacker's-Delight kernels: mont, SAXPY, linked-list traversal.
+
+* **mont** — the Montgomery multiplication kernel of Figure 1:
+  ``c1:c0 := np * (mh:ml) + c1 + c0`` over 64-bit words.
+* **saxpy** — the four-times-unrolled single-precision(-shaped, integer
+  in this reproduction as in Figure 14) a*x+y update.
+* **list** — the loop-free inner fragment of the linked-list traversal
+  of Figure 15, reproduced from the paper's fixed listings (STOKE keeps
+  the stack round-trip, gcc hoists it; Section 6.3).
+"""
+
+from __future__ import annotations
+
+from repro.cc.ast import (Assign, Bin, BinOp, Cast, Const, Function, Load,
+                          Output, Param, Store, Var)
+from repro.x86.operands import Mem
+from repro.x86.registers import lookup
+
+M32 = 0xFFFFFFFF
+M64 = (1 << 64) - 1
+
+
+def mont_ast() -> Function:
+    """c1:c0 := np * (mh:ml) + c1 + c0 (one widening multiplication)."""
+    np_, mh, ml = Var("np"), Var("mh"), Var("ml")
+    c0, c1 = Var("c0"), Var("c1")
+    return Function(
+        "mont",
+        (Param("np", 64, "rsi"), Param("mh", 32, "ecx"),
+         Param("ml", 32, "edx"), Param("c0", 64, "rdi"),
+         Param("c1", 64, "r8")),
+        (
+            Assign("m", Bin(BinOp.OR,
+                            Bin(BinOp.SHL, Cast(mh, 64), Const(32)),
+                            Cast(ml, 64))),
+            Assign("hi", Bin(BinOp.MULHI_U, np_, Var("m"))),
+            Assign("lo", Bin(BinOp.MUL, np_, Var("m"))),
+            Assign("s1", Bin(BinOp.ADD, Var("lo"), c0)),
+            Assign("cr1", Bin(BinOp.LT_U, Var("s1"), Var("lo"))),
+            Assign("hi1", Bin(BinOp.ADD, Var("hi"), Var("cr1"))),
+            Assign("s2", Bin(BinOp.ADD, Var("s1"), c1)),
+            Assign("cr2", Bin(BinOp.LT_U, Var("s2"), Var("s1"))),
+            Assign("hi2", Bin(BinOp.ADD, Var("hi1"), Var("cr2"))),
+        ),
+        (Output("s2", "rdi"), Output("hi2", "r8")),
+    )
+
+
+def mont_ref(np_: int, mh: int, ml: int, c0: int, c1: int) \
+        -> tuple[int, int]:
+    """Reference: returns (lo, hi) of np * (mh:ml) + c0 + c1."""
+    total = np_ * (((mh & M32) << 32) | (ml & M32)) + c0 + c1
+    return total & M64, (total >> 64) & M64
+
+
+def saxpy_ast() -> Function:
+    """x[i+k] = a * x[i+k] + y[i+k] for k in 0..3 (Figure 14)."""
+    a, x, y, i = Var("a"), Var("x"), Var("y"), Var("i")
+    body = [Assign("idx", Cast(i, 64, signed=True))]
+    for k in range(4):
+        body.append(Assign(
+            f"t{k}",
+            Bin(BinOp.ADD,
+                Bin(BinOp.MUL, a,
+                    Load(x, 32, index=Var("idx"), scale=4, disp=4 * k)),
+                Load(y, 32, index=Var("idx"), scale=4, disp=4 * k))))
+        body.append(Store(x, Var(f"t{k}"), 32, index=Var("idx"),
+                          scale=4, disp=4 * k))
+    return Function(
+        "saxpy",
+        (Param("x", 64, "rsi"), Param("y", 64, "rdx"),
+         Param("a", 32, "edi"), Param("i", 32, "ecx")),
+        tuple(body),
+        (),
+    )
+
+
+def saxpy_ref(x: list[int], y: list[int], a: int, i: int) -> list[int]:
+    """Reference on Python lists; returns the updated x."""
+    out = list(x)
+    for k in range(4):
+        out[i + k] = (a * x[i + k] + y[i + k]) & M32
+    return out
+
+
+#: Memory regions SAXPY must match on: x[i..i+3].
+SAXPY_MEM_OUT = tuple(
+    (Mem(base=lookup("rsi"), index=lookup("rcx"), scale=4, disp=4 * k), 4)
+    for k in range(4))
+
+
+# --- linked-list traversal (fixed listings from Figure 15) -----------------
+
+LIST_O0_FRAGMENT = """
+movq -8(rsp), rdi
+sall (rdi)
+movq 8(rdi), rdi
+movq rdi, -8(rsp)
+"""
+
+LIST_STOKE_FRAGMENT = LIST_O0_FRAGMENT
+"""STOKE's rewrite keeps the stack round-trip (Section 6.3): the
+fragment-level search cannot know the pointer could stay in a register
+across iterations."""
+
+LIST_GCC_FRAGMENT = """
+sall (rdi)
+movq 8(rdi), rdi
+"""
+"""gcc -O3 caches the head pointer in a register before the loop."""
+
+
+# --- Montgomery listings from Figure 1 (for examples and benches) ----------
+
+MONT_GCC_LISTING = """
+.set c1 0x100000000
+movq rsi, r9
+mov ecx, ecx
+shrq 32, rsi
+andl 0xffffffff, r9d
+movq rcx, rax
+mov edx, edx
+imulq r9, rax
+imulq rdx, r9
+imulq rsi, rdx
+imulq rsi, rcx
+addq rdx, rax
+jae .L2
+movabsq c1, rdx
+addq rdx, rcx
+.L2
+movq rax, rsi
+movq rax, rdx
+shrq 32, rsi
+salq 32, rdx
+addq rsi, rcx
+addq r9, rdx
+adcq 0, rcx
+addq r8, rdx
+adcq 0, rcx
+addq rdi, rdx
+adcq 0, rcx
+movq rcx, r8
+movq rdx, rdi
+"""
+
+MONT_STOKE_LISTING = """
+shlq 32, rcx
+mov edx, edx
+xorq rdx, rcx
+movq rcx, rax
+mulq rsi
+addq r8, rdi
+adcq 0, rdx
+addq rdi, rax
+adcq 0, rdx
+movq rdx, r8
+movq rax, rdi
+"""

@@ -1,0 +1,167 @@
+"""The benchmark registry: one entry per kernel in the paper's Figure 10.
+
+Each :class:`Benchmark` bundles the mini-C source, live-in/out spec,
+input annotations, a Python reference, and (lazily compiled) O0 / gcc /
+icc programs. Kernels the paper presents only as fixed listings (the
+linked-list fragment, the Figure 1 gcc comparison) carry those listings
+verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Callable
+
+from repro.cc.ast import Function
+from repro.cc.codegen_o0 import compile_o0
+from repro.cc.codegen_opt import compile_opt
+from repro.suite.hackers_delight import (HD_BUILDERS, STARRED,
+                                         SYNTHESIS_TIMEOUT)
+from repro.suite.kernels import (LIST_GCC_FRAGMENT, LIST_O0_FRAGMENT,
+                                 MONT_GCC_LISTING, MONT_STOKE_LISTING,
+                                 SAXPY_MEM_OUT, mont_ast, mont_ref,
+                                 saxpy_ast, saxpy_ref)
+from repro.testgen.annotations import (Annotations, PointerInput,
+                                       RandomInput, RangeInput)
+from repro.verifier.validator import LiveSpec
+from repro.x86.parser import parse_program
+from repro.x86.program import Program
+
+
+@dataclass
+class Benchmark:
+    """One kernel of the evaluation suite.
+
+    Attributes:
+        name: e.g. "p01", "mont".
+        description: one-line summary.
+        fn: mini-C source (None for listing-only benchmarks).
+        spec: live inputs and outputs.
+        annotations: input generation annotations (Section 5.1).
+        reference: independent Python implementation, for tests.
+        starred: the paper found an algorithmically distinct rewrite.
+        synthesis_timeout: the paper's synthesis phase timed out.
+        listings: fixed assembly listings keyed by compiler name.
+    """
+
+    name: str
+    description: str
+    spec: LiveSpec
+    annotations: Annotations
+    fn: Function | None = None
+    reference: Callable | None = None
+    starred: bool = False
+    synthesis_timeout: bool = False
+    listings: dict[str, str] = field(default_factory=dict)
+
+    @cached_property
+    def o0(self) -> Program:
+        """The llvm -O0 style target binary."""
+        if "o0" in self.listings:
+            return parse_program(self.listings["o0"])
+        assert self.fn is not None
+        return compile_o0(self.fn)
+
+    @cached_property
+    def gcc(self) -> Program:
+        """The gcc -O3 comparison binary."""
+        if "gcc" in self.listings:
+            return parse_program(self.listings["gcc"])
+        assert self.fn is not None
+        return compile_opt(self.fn, flavor="gcc")
+
+    @cached_property
+    def icc(self) -> Program:
+        """The icc -O3 comparison binary."""
+        if "icc" in self.listings:
+            return parse_program(self.listings["icc"])
+        assert self.fn is not None
+        return compile_opt(self.fn, flavor="icc")
+
+    @cached_property
+    def paper_stoke(self) -> Program | None:
+        """The rewrite printed in the paper, when it gives one."""
+        if "stoke" in self.listings:
+            return parse_program(self.listings["stoke"])
+        return None
+
+
+def _hd_annotations(name: str) -> Annotations:
+    if name == "p19":
+        return Annotations({"k": RangeInput(0, 31)})
+    if name == "p20":
+        # x = 0 would divide by zero; the paper's driver annotations
+        # guarantee legal inputs the same way
+        return Annotations({"x": RangeInput(1, 0xFFFFFFFF)})
+    return Annotations()
+
+
+def _build_registry() -> dict[str, Benchmark]:
+    registry: dict[str, Benchmark] = {}
+    for name, (builder, reference) in HD_BUILDERS.items():
+        fn = builder()
+        live_in = tuple(p.reg for p in fn.params)
+        registry[name] = Benchmark(
+            name=name,
+            description=(builder.__doc__ or name).strip().rstrip("."),
+            fn=fn,
+            spec=LiveSpec(live_in=live_in, live_out=("eax",)),
+            annotations=_hd_annotations(name),
+            reference=reference,
+            starred=name in STARRED,
+            synthesis_timeout=name in SYNTHESIS_TIMEOUT,
+        )
+    mont = mont_ast()
+    registry["mont"] = Benchmark(
+        name="mont",
+        description="Montgomery multiplication kernel (Figure 1)",
+        fn=mont,
+        spec=LiveSpec(live_in=("rsi", "ecx", "edx", "rdi", "r8"),
+                      live_out=("rdi", "r8")),
+        annotations=Annotations(),
+        reference=mont_ref,
+        starred=True,
+        listings={"gcc": MONT_GCC_LISTING, "stoke": MONT_STOKE_LISTING},
+    )
+    saxpy = saxpy_ast()
+    registry["saxpy"] = Benchmark(
+        name="saxpy",
+        description="SAXPY, unrolled 4x (Figure 14)",
+        fn=saxpy,
+        spec=LiveSpec(live_in=("rsi", "rdx", "edi", "ecx"),
+                      live_out=(), mem_out=SAXPY_MEM_OUT),
+        annotations=Annotations({
+            "rsi": PointerInput(size=64),
+            "rdx": PointerInput(size=64),
+            "ecx": RangeInput(0, 8),
+        }),
+        reference=saxpy_ref,
+        starred=True,
+    )
+    registry["list"] = Benchmark(
+        name="list",
+        description="Linked-list traversal inner fragment (Figure 15)",
+        spec=LiveSpec(live_in=("rdi",), live_out=("rdi",)),
+        annotations=Annotations(),
+        starred=False,
+        listings={"o0": LIST_O0_FRAGMENT, "gcc": LIST_GCC_FRAGMENT,
+                  "icc": LIST_GCC_FRAGMENT, "stoke": LIST_O0_FRAGMENT},
+    )
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def benchmark(name: str) -> Benchmark:
+    """Look up a benchmark by name (p01..p25, mont, saxpy, list)."""
+    return _REGISTRY[name]
+
+
+def all_benchmarks() -> list[Benchmark]:
+    return list(_REGISTRY.values())
+
+
+def hd_benchmarks() -> list[Benchmark]:
+    return [b for b in _REGISTRY.values() if b.name.startswith("p")]

@@ -1,0 +1,104 @@
+"""Shared experiment runner: the code behind every figure's bench.
+
+Budgets are deliberately configurable: the paper ran 30-minute budgets
+on an 80-core cluster; this reproduction runs seconds-to-minutes on one
+interpreter. Set ``REPRO_BUDGET=full`` for longer searches.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.perfsim.model import actual_runtime
+from repro.search.config import SearchConfig
+from repro.search.stoke import Stoke, StokeResult
+from repro.suite.registry import Benchmark
+from repro.verifier.validator import Validator
+
+
+def budget_scale() -> float:
+    """Proposal-budget multiplier from the REPRO_BUDGET env var."""
+    setting = os.environ.get("REPRO_BUDGET", "small")
+    return {"small": 1.0, "medium": 4.0, "full": 16.0}.get(setting, 1.0)
+
+
+def search_config(bench: Benchmark, *, seed: int = 0,
+                  synthesis: bool = False) -> SearchConfig:
+    """A practical configuration for one benchmark.
+
+    beta is raised above the paper's 0.1 because this reproduction uses
+    fewer testcases and a single chain (see EXPERIMENTS.md); ell tracks
+    the target size instead of the paper's fixed 50 to keep proposal
+    budgets laptop-sized.
+    """
+    scale = budget_scale()
+    ell = min(50, max(8, len(bench.o0) + 4))
+    # longer rewrites dilute per-instruction proposal density; grow the
+    # budget with ell so large kernels get comparable coverage
+    length_factor = min(3.0, max(1.0, ell / 12))
+    proposals = int(30_000 * scale * length_factor)
+    return SearchConfig(
+        ell=ell,
+        beta=1.0,
+        seed=seed,
+        synthesis_proposals=proposals,
+        optimization_proposals=proposals,
+        optimization_restarts=10,
+        synthesis_chains=1 if synthesis else 0,
+        testcase_count=16,
+    )
+
+
+@dataclass
+class BenchmarkOutcome:
+    """Speedups over llvm -O0 for one kernel (a Figure 10 column)."""
+
+    name: str
+    o0_cycles: int
+    gcc_speedup: float
+    icc_speedup: float
+    stoke_speedup: float
+    stoke_verified: bool
+    synthesis_seconds: float = 0.0
+    optimization_seconds: float = 0.0
+    synthesis_succeeded: bool = False
+
+    def row(self) -> str:
+        star = "*" if self.stoke_speedup > max(self.gcc_speedup,
+                                               self.icc_speedup) else " "
+        return (f"{self.name:>6}{star} o0=1.00x  "
+                f"gcc={self.gcc_speedup:4.2f}x  "
+                f"icc={self.icc_speedup:4.2f}x  "
+                f"stoke={self.stoke_speedup:4.2f}x"
+                f"{'' if self.stoke_verified else '  (unverified)'}")
+
+
+def run_stoke(bench: Benchmark, *, seed: int = 0,
+              synthesis: bool = False) -> StokeResult:
+    """Run the full pipeline on one benchmark's O0 target."""
+    config = search_config(bench, seed=seed, synthesis=synthesis)
+    stoke = Stoke(bench.o0, bench.spec, bench.annotations, config=config,
+                  validator=Validator())
+    return stoke.run()
+
+
+def evaluate_benchmark(bench: Benchmark, *, seed: int = 0,
+                       synthesis: bool = False) -> BenchmarkOutcome:
+    """Measure the Figure 10 column for one kernel."""
+    o0_cycles = actual_runtime(bench.o0.compact())
+    gcc_cycles = actual_runtime(bench.gcc.compact())
+    icc_cycles = actual_runtime(bench.icc.compact())
+    result = run_stoke(bench, seed=seed, synthesis=synthesis)
+    stoke_cycles = result.rewrite_cycles
+    return BenchmarkOutcome(
+        name=bench.name,
+        o0_cycles=o0_cycles,
+        gcc_speedup=o0_cycles / gcc_cycles if gcc_cycles else 1.0,
+        icc_speedup=o0_cycles / icc_cycles if icc_cycles else 1.0,
+        stoke_speedup=o0_cycles / stoke_cycles if stoke_cycles else 1.0,
+        stoke_verified=result.verified,
+        synthesis_seconds=result.synthesis_seconds,
+        optimization_seconds=result.optimization_seconds,
+        synthesis_succeeded=result.synthesis_succeeded,
+    )

@@ -1,0 +1,11 @@
+"""Testcase generation from annotated targets (PinTool substitute)."""
+
+from repro.testgen.annotations import (Annotations, ConstantInput,
+                                       PointerInput, RandomInput,
+                                       RangeInput)
+from repro.testgen.generator import DEFAULT_TESTCASE_COUNT, TestcaseGenerator
+from repro.testgen.testcase import Testcase, resolve_mem_out
+
+__all__ = ["Annotations", "ConstantInput", "DEFAULT_TESTCASE_COUNT",
+           "PointerInput", "RandomInput", "RangeInput", "Testcase",
+           "TestcaseGenerator", "resolve_mem_out"]

@@ -1,0 +1,70 @@
+"""Driver annotations: how to generate inputs for a target (Section 5.1).
+
+The paper's user supplies an annotated driver; inputs are fixed-width
+bit strings sampled uniformly at random unless annotated. Inputs used
+as memory addresses must be annotated with legal ranges — here, with a
+:class:`PointerInput` that allocates a region in a synthetic arena.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ARENA_BASE = 0x1000_0000
+"""Base address of the synthetic allocation arena."""
+
+ARENA_STRIDE = 0x1_0000
+"""Spacing between allocated regions (keeps regions disjoint)."""
+
+
+@dataclass(frozen=True)
+class RandomInput:
+    """Sample the register's full view width uniformly at random."""
+
+    mask: int | None = None       # optional bit mask applied after sampling
+
+
+@dataclass(frozen=True)
+class ConstantInput:
+    """A fixed input value (e.g. a loop-invariant index)."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class RangeInput:
+    """Uniform sample from [lo, hi], inclusive."""
+
+    lo: int
+    hi: int
+
+
+@dataclass(frozen=True)
+class PointerInput:
+    """The input is a pointer to ``size`` bytes of addressable memory.
+
+    Region contents are sampled uniformly; the pointer value itself is a
+    fresh arena address so that distinct pointer inputs never alias
+    (the paper's SAXPY annotations assert exactly this).
+    """
+
+    size: int
+    align: int = 8
+
+
+InputKind = RandomInput | ConstantInput | RangeInput | PointerInput
+
+
+@dataclass(frozen=True)
+class Annotations:
+    """Input specification for one target.
+
+    Attributes:
+        inputs: mapping from live-in register view name to how its value
+            is generated.
+    """
+
+    inputs: dict[str, InputKind] = field(default_factory=dict)
+
+    def live_in(self) -> tuple[str, ...]:
+        return tuple(self.inputs)

@@ -1,0 +1,10 @@
+"""Sound equivalence validation of loop-free X86 subset programs."""
+
+from repro.verifier.symbolic import (SharedMemory, SymbolicExecutor,
+                                     SymbolicMachine, UFTable)
+from repro.verifier.validator import (Counterexample, LiveSpec,
+                                      ValidationResult, Validator)
+
+__all__ = ["Counterexample", "LiveSpec", "SharedMemory",
+           "SymbolicExecutor", "SymbolicMachine", "UFTable",
+           "ValidationResult", "Validator"]

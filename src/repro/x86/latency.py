@@ -1,0 +1,57 @@
+"""Static instruction latencies: the paper's LATENCY(i) (Eq. 13).
+
+The performance term of the cost function is a *static approximation* of
+expected runtime: the sum over instructions of an average latency. Base
+latencies live in the opcode table; memory operands add a fixed load or
+store penalty, which is what makes the stack-traffic-heavy ``llvm -O0``
+code expensive under the heuristic, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.x86.instruction import Instruction, is_unused
+from repro.x86.program import Program
+
+MEM_READ_PENALTY = 3
+"""Extra cycles charged for a memory read operand."""
+
+MEM_WRITE_PENALTY = 2
+"""Extra cycles charged for a memory write operand."""
+
+
+_LATENCY_CACHE: dict[int, tuple[Instruction, int]] = {}
+
+
+def instruction_latency(instr: Instruction) -> int:
+    """The average latency LATENCY(i) charged to one instruction.
+
+    Cached by object identity: the cache entry pins the instruction, so
+    ids stay unique. Instructions are shared across program snapshots,
+    making the cache hit rate in the MCMC inner loop very high.
+    """
+    cached = _LATENCY_CACHE.get(id(instr))
+    if cached is not None:
+        return cached[1]
+    if is_unused(instr):
+        latency = 0
+    else:
+        latency = instr.opcode.latency
+        if instr.reads_memory:
+            latency += MEM_READ_PENALTY
+        if instr.writes_memory:
+            latency += MEM_WRITE_PENALTY
+    _LATENCY_CACHE[id(instr)] = (instr, latency)
+    return latency
+
+
+def program_latency(prog: Program) -> int:
+    """The paper's H(f): total static latency of a program (Eq. 13)."""
+    cache = _LATENCY_CACHE
+    total = 0
+    for instr in prog.code:
+        cached = cache.get(id(instr))
+        if cached is not None:
+            total += cached[1]
+        else:
+            total += instruction_latency(instr)
+    return total

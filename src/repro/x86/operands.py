@@ -1,0 +1,122 @@
+"""Operand kinds for the X86 subset: registers, immediates, memory, labels.
+
+Operands are immutable and hashable so instructions can be used as
+dictionary keys and deduplicated cheaply by the search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.x86.registers import Register
+
+
+class OperandKind(Enum):
+    REG = "reg"
+    IMM = "imm"
+    MEM = "mem"
+    LABEL = "label"
+
+
+@dataclass(frozen=True)
+class Operand:
+    """Base class for instruction operands."""
+
+    @property
+    def kind(self) -> OperandKind:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Reg(Operand):
+    """A register operand."""
+
+    reg: Register
+
+    @property
+    def kind(self) -> OperandKind:
+        return OperandKind.REG
+
+    @property
+    def width(self) -> int:
+        return self.reg.width
+
+    def __str__(self) -> str:
+        return self.reg.name
+
+
+@dataclass(frozen=True)
+class Imm(Operand):
+    """An immediate operand.
+
+    The value is stored as the (possibly negative) integer written in the
+    assembly text; width-dependent masking happens at evaluation time.
+    """
+
+    value: int
+
+    @property
+    def kind(self) -> OperandKind:
+        return OperandKind.IMM
+
+    def masked(self, width: int) -> int:
+        """The value truncated to ``width`` bits (two's complement)."""
+        return self.value & ((1 << width) - 1)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Mem(Operand):
+    """A memory operand ``disp(base, index, scale)``.
+
+    Any of base/index may be absent. ``scale`` is 1, 2, 4 or 8. The access
+    width is a property of the instruction, not the operand.
+    """
+
+    base: Register | None = None
+    index: Register | None = None
+    scale: int = 1
+    disp: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid scale {self.scale}")
+        if self.base is None and self.index is None:
+            raise ValueError("memory operand needs a base or an index")
+
+    @property
+    def kind(self) -> OperandKind:
+        return OperandKind.MEM
+
+    def registers(self) -> tuple[Register, ...]:
+        """Registers read to form the effective address."""
+        regs = []
+        if self.base is not None:
+            regs.append(self.base)
+        if self.index is not None:
+            regs.append(self.index)
+        return tuple(regs)
+
+    def __str__(self) -> str:
+        disp = str(self.disp) if self.disp else ""
+        inner = self.base.name if self.base else ""
+        if self.index is not None:
+            inner += f",{self.index.name},{self.scale}"
+        return f"{disp}({inner})"
+
+
+@dataclass(frozen=True)
+class Label(Operand):
+    """A code label operand (jump target)."""
+
+    name: str
+
+    @property
+    def kind(self) -> OperandKind:
+        return OperandKind.LABEL
+
+    def __str__(self) -> str:
+        return self.name

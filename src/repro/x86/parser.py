@@ -1,0 +1,160 @@
+"""Parser for the assembly dialect used in the paper's listings.
+
+The dialect is AT&T-flavored but without ``%``/``$`` sigils::
+
+    .set c1 0x100000000     # named constant
+    .L0                     # label
+    movq rsi, r9            # source-first operand order
+    shrq 32, rsi            # immediate shift count
+    andl c1, r9d            # named constant as immediate
+    leaq (rsi,rcx,4), r8    # memory operand disp(base,index,scale)
+    jae .L2                 # forward jump
+    movd edi, xmm0          # SSE
+
+Mnemonics may appear without a width suffix (``mov ecx, ecx``); the
+parser infers the suffix from register operand widths, exactly as an
+assembler would.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AsmSyntaxError, UnknownOpcodeError
+from repro.x86.instruction import Instruction
+from repro.x86.isa import OPCODES, opcode
+from repro.x86.operands import Imm, Label, Mem, Operand, Reg
+from repro.x86.program import Program
+from repro.x86.registers import RegClass, is_register_name, lookup
+
+_MEM_RE = re.compile(
+    r"^(?P<disp>[^()]*)\(\s*(?P<base>[a-z0-9]+)?\s*"
+    r"(?:,\s*(?P<index>[a-z0-9]+)\s*(?:,\s*(?P<scale>[1248]))?)?\s*\)$")
+_LABEL_RE = re.compile(r"^\.[A-Za-z_][A-Za-z0-9_]*$")
+_INT_RE = re.compile(r"^-?(0[xX][0-9a-fA-F]+|\d+)$")
+
+_WIDTH_SUFFIX = {8: "b", 16: "w", 32: "l", 64: "q"}
+
+
+def _parse_int(text: str, constants: dict[str, int]) -> int:
+    text = text.strip()
+    if text in constants:
+        return constants[text]
+    if _INT_RE.match(text):
+        return int(text, 0)
+    raise AsmSyntaxError(f"cannot parse integer {text!r}")
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas not nested inside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_operand(text: str, constants: dict[str, int]) -> Operand:
+    text = text.strip()
+    if not text:
+        raise AsmSyntaxError("empty operand")
+    if is_register_name(text):
+        return Reg(lookup(text))
+    if _LABEL_RE.match(text):
+        return Label(text)
+    mem = _MEM_RE.match(text)
+    if mem is not None:
+        disp_text = mem.group("disp").strip()
+        disp = _parse_int(disp_text, constants) if disp_text else 0
+        base_name = mem.group("base")
+        index_name = mem.group("index")
+        base = lookup(base_name) if base_name else None
+        index = lookup(index_name) if index_name else None
+        scale = int(mem.group("scale") or 1)
+        return Mem(base=base, index=index, scale=scale, disp=disp)
+    return Imm(_parse_int(text, constants))
+
+
+def _infer_mnemonic(name: str, operands: list[Operand]) -> str:
+    """Resolve an unsuffixed or aliased mnemonic to a table entry."""
+    xmm = any(isinstance(op, Reg) and op.reg.reg_class is RegClass.XMM
+              for op in operands)
+    if xmm and name == "movq":
+        return "movq_xmm"       # the GPR movq cannot take xmm operands
+    if name in OPCODES:
+        return name
+    if xmm:
+        raise UnknownOpcodeError(f"unknown SSE opcode {name!r}")
+    widths = [op.reg.width for op in operands if isinstance(op, Reg)]
+    if widths:
+        candidate = name + _WIDTH_SUFFIX[max(widths)]
+        if candidate in OPCODES:
+            return candidate
+    raise UnknownOpcodeError(f"unknown opcode {name!r}")
+
+
+def parse_instruction(line: str,
+                      constants: dict[str, int] | None = None) -> Instruction:
+    """Parse a single instruction line."""
+    constants = constants or {}
+    line = line.split("#", 1)[0].strip()
+    if not line:
+        raise AsmSyntaxError("empty instruction line")
+    parts = line.split(None, 1)
+    name = parts[0]
+    operand_text = parts[1] if len(parts) > 1 else ""
+    operands = tuple(_parse_operand(t, constants)
+                     for t in _split_operands(operand_text))
+    mnemonic = _infer_mnemonic(name, list(operands))
+    return Instruction(opcode(mnemonic), operands)
+
+
+def parse_program(text: str) -> Program:
+    """Parse a full program listing into a :class:`Program`.
+
+    Raises:
+        AsmSyntaxError: on malformed lines, unknown opcodes or operands,
+            undefined jump targets, or backward jumps.
+    """
+    constants: dict[str, int] = {}
+    instructions: list[Instruction] = []
+    labels: dict[str, int] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".set"):
+            parts = line.split()
+            if len(parts) != 3:
+                raise AsmSyntaxError(".set expects a name and a value",
+                                     raw, lineno)
+            constants[parts[1]] = int(parts[2], 0)
+            continue
+        if _LABEL_RE.match(line):
+            name = line.rstrip(":")
+            if name in labels:
+                raise AsmSyntaxError(f"duplicate label {name}", raw, lineno)
+            labels[name] = len(instructions)
+            continue
+        if line.endswith(":") and _LABEL_RE.match(line[:-1]):
+            labels[line[:-1]] = len(instructions)
+            continue
+        try:
+            instructions.append(parse_instruction(line, constants))
+        except AsmSyntaxError as exc:
+            if exc.lineno is None:
+                raise AsmSyntaxError(str(exc), raw, lineno) from exc
+            raise
+    return Program(tuple(instructions), labels)

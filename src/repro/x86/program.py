@@ -1,0 +1,114 @@
+"""Loop-free programs: instruction sequences plus label definitions.
+
+A :class:`Program` is an immutable sequence of instructions together with
+a mapping from label names to instruction indices. Only *forward* jumps
+are permitted, which guarantees loop freedom — the property the paper's
+formulation requires (Section 1). The linked-list benchmark's backward
+jump is handled the way the paper handles it: STOKE extracts and
+optimizes the loop-free inner fragment (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import AsmSyntaxError
+from repro.x86.instruction import Instruction, UNUSED, is_unused
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable loop-free sequence of instructions.
+
+    Attributes:
+        code: the instruction sequence, possibly containing UNUSED tokens.
+        labels: mapping from label name to the index of the instruction
+            the label precedes; a label at the very end maps to len(code).
+    """
+
+    code: tuple[Instruction, ...]
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, index in self.labels.items():
+            if not 0 <= index <= len(self.code):
+                raise AsmSyntaxError(f"label {name} out of range")
+        for i, instr in enumerate(self.code):
+            target = instr.jump_target
+            if target is None:
+                continue
+            if target not in self.labels:
+                raise AsmSyntaxError(
+                    f"jump to undefined label {target!r} at index {i}")
+            if self.labels[target] <= i:
+                raise AsmSyntaxError(
+                    f"backward jump to {target!r} at index {i}; "
+                    "programs must be loop-free")
+
+    # -- basic container protocol ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.code)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.code[index]
+
+    # -- derived views ----------------------------------------------------------
+
+    @property
+    def instruction_count(self) -> int:
+        """Number of real (non-UNUSED) instructions."""
+        return sum(1 for i in self.code if not is_unused(i))
+
+    def real_instructions(self) -> list[Instruction]:
+        return [i for i in self.code if not is_unused(i)]
+
+    def compact(self) -> "Program":
+        """A copy with UNUSED tokens removed (labels are preserved)."""
+        new_code: list[Instruction] = []
+        remap: dict[int, int] = {}
+        for i, instr in enumerate(self.code):
+            remap[i] = len(new_code)
+            if not is_unused(instr):
+                new_code.append(instr)
+        remap[len(self.code)] = len(new_code)
+        labels = {name: remap[idx] for name, idx in self.labels.items()}
+        return Program(tuple(new_code), labels)
+
+    def padded(self, length: int) -> "Program":
+        """A copy padded with UNUSED tokens to exactly ``length`` slots."""
+        if len(self.code) > length:
+            raise ValueError(
+                f"program has {len(self.code)} instructions; "
+                f"cannot pad to {length}")
+        pad = (UNUSED,) * (length - len(self.code))
+        return Program(self.code + pad, dict(self.labels))
+
+    def replace(self, index: int, instr: Instruction) -> "Program":
+        """A copy with the instruction at ``index`` replaced."""
+        code = list(self.code)
+        code[index] = instr
+        return Program(tuple(code), dict(self.labels))
+
+    def swap(self, i: int, j: int) -> "Program":
+        """A copy with the instructions at ``i`` and ``j`` exchanged."""
+        code = list(self.code)
+        code[i], code[j] = code[j], code[i]
+        return Program(tuple(code), dict(self.labels))
+
+    def has_jumps(self) -> bool:
+        return any(i.is_jump for i in self.code)
+
+    def __str__(self) -> str:
+        from repro.x86.printer import format_program
+        return format_program(self)
+
+
+def program(instructions: Iterable[Instruction],
+            labels: dict[str, int] | None = None) -> Program:
+    """Convenience constructor accepting any iterable of instructions."""
+    return Program(tuple(instructions), dict(labels or {}))

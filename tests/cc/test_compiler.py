@@ -1,0 +1,135 @@
+"""Mini-compiler tests: lowering, passes, both code generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc.ast import (Assign, Bin, BinOp, Const, Function, Output,
+                          Select, Un, UnOp, Var, params32)
+from repro.cc.codegen_o0 import compile_o0
+from repro.cc.codegen_opt import compile_opt
+from repro.cc.interp import evaluate
+from repro.cc.lower import lower_function
+from repro.cc.passes import optimize
+from repro.emulator.cpu import Emulator
+from repro.emulator.sandbox import Sandbox
+from repro.emulator.state import MachineState
+from repro.x86.latency import program_latency
+
+
+def _run(prog, **regs) -> MachineState:
+    state = MachineState()
+    state.set_reg("rsp", 0x7FFF0000)
+    for name, value in regs.items():
+        state.set_reg(name, value)
+    Emulator(state, Sandbox.recorder()).run(prog)
+    return state
+
+
+def _simple_fn(expr) -> Function:
+    return Function("f", params32("x", "y"),
+                    (Assign("r", expr),), (Output("r", "eax"),))
+
+
+def test_o0_uses_stack_heavily():
+    fn = _simple_fn(Bin(BinOp.ADD, Var("x"), Var("y")))
+    o0 = compile_o0(fn)
+    assert any(i.writes_memory for i in o0.code)
+    assert any(i.reads_memory for i in o0.code)
+
+
+def test_opt_avoids_stack_entirely():
+    fn = _simple_fn(Bin(BinOp.ADD, Var("x"), Var("y")))
+    opt = compile_opt(fn)
+    assert not any(i.reads_memory or i.writes_memory for i in opt.code)
+    assert program_latency(opt) < program_latency(compile_o0(fn))
+
+
+def test_constant_folding_pass():
+    fn = _simple_fn(Bin(BinOp.ADD, Const(2), Const(3)))
+    ir = optimize(lower_function(fn))
+    prog = compile_opt(fn)
+    state = _run(prog, edi=0, esi=0)
+    assert state.get_reg("eax") == 5
+    assert prog.instruction_count <= 2
+
+
+def test_strength_reduction_mul_to_shift():
+    fn = _simple_fn(Bin(BinOp.MUL, Var("x"), Const(8)))
+    gcc = compile_opt(fn, flavor="gcc")
+    icc = compile_opt(fn, flavor="icc")
+    gcc_families = {i.opcode.family for i in gcc.code}
+    icc_families = {i.opcode.family for i in icc.code}
+    assert "imul" not in gcc_families       # reduced to shift
+    assert "imul" in icc_families           # the icc flavor keeps it
+    for x in (0, 1, 7, 0x20000001):
+        assert _run(gcc, edi=x).get_reg("eax") == \
+            _run(icc, edi=x).get_reg("eax") == (x * 8) & 0xFFFFFFFF
+
+
+def test_dce_pass_removes_unused_assign():
+    fn = Function("f", params32("x"),
+                  (Assign("dead", Bin(BinOp.MUL, Var("x"), Const(3))),
+                   Assign("r", Var("x"))),
+                  (Output("r", "eax"),))
+    opt = compile_opt(fn)
+    assert all(i.opcode.family != "imul" for i in opt.code)
+
+
+def test_select_compiles_to_cmov():
+    fn = Function(
+        "f", params32("x", "y"),
+        (Assign("c", Bin(BinOp.LT_S, Var("x"), Var("y"))),
+         Assign("r", Select(Var("c"), Var("y"), Var("x")))),
+        (Output("r", "eax"),))
+    for prog in (compile_o0(fn), compile_opt(fn)):
+        assert any(i.opcode.family == "cmov" for i in prog.code)
+        assert _run(prog, edi=3, esi=9).get_reg("eax") == 9
+        assert _run(prog, edi=9, esi=3).get_reg("eax") == 9
+        assert _run(prog, edi=0xFFFFFFFF, esi=1).get_reg("eax") == 1
+
+
+def test_division_compiles():
+    fn = _simple_fn(Bin(BinOp.DIV_U, Var("x"), Var("y")))
+    for prog in (compile_o0(fn), compile_opt(fn)):
+        assert _run(prog, edi=100, esi=7).get_reg("eax") == 14
+
+
+_exprs = st.deferred(lambda: st.one_of(
+    st.sampled_from([Var("x"), Var("y")]),
+    st.integers(0, 0xFFFF).map(Const),
+    st.tuples(
+        st.sampled_from([BinOp.ADD, BinOp.SUB, BinOp.MUL, BinOp.AND,
+                         BinOp.OR, BinOp.XOR]),
+        _exprs, _exprs).map(lambda t: Bin(*t)),
+    _exprs.map(lambda e: Un(UnOp.NOT, e)),
+))
+
+
+@given(_exprs, st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF))
+@settings(max_examples=40, deadline=None)
+def test_codegens_agree_with_interpreter(expr, x, y):
+    """Random expressions: interp == O0 == gcc == icc."""
+    fn = _simple_fn(expr)
+    expected = evaluate(fn, {"x": x, "y": y})["eax"]
+    for compiler in (compile_o0,
+                     lambda f: compile_opt(f, flavor="gcc"),
+                     lambda f: compile_opt(f, flavor="icc")):
+        prog = compiler(fn)
+        state = _run(prog, edi=x, esi=y)
+        assert state.get_reg("eax") == expected, f"\n{prog}"
+        assert state.events.total() == 0
+
+
+def test_output_register_parallel_moves():
+    """Outputs landing in each other's sources must not clobber."""
+    fn = Function(
+        "f", params32("x", "y"),
+        (Assign("a", Var("x")), Assign("b", Var("y"))),
+        (Output("a", "esi"), Output("b", "edi")))   # swap into params
+    prog = compile_opt(fn)
+    state = _run(prog, edi=111, esi=222)
+    assert state.get_reg("esi") == 111
+    assert state.get_reg("edi") == 222

@@ -1,0 +1,97 @@
+"""Cost function tests, including the paper's Figure 6 worked example."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.correctness import (CostWeights, err_penalty,
+                                    improved_distance, strict_distance)
+from repro.cost.correctness import testcase_cost as compute_testcase_cost
+from repro.emulator.state import MachineState
+from repro.testgen.testcase import Testcase
+
+
+def _testcase(expected_regs, expected_memory=()):
+    return Testcase(
+        input_regs=(), input_memory=(),
+        expected_regs=tuple(expected_regs),
+        expected_memory=tuple(expected_memory),
+        valid_addresses=frozenset())
+
+
+def test_fig06_worked_example():
+    """Figure 6: value 1111 expected in al; rewrite puts 0000 there
+    but 1111 in dl. Strict cost 4; improved cost min over candidates."""
+    testcase = _testcase([("al", 0b1111)])
+    state = MachineState()
+    state.set_reg("al", 0b0000)
+    state.set_reg("bl", 0b1000)
+    state.set_reg("cl", 0b1100)
+    state.set_reg("dl", 0b1111)
+    weights = CostWeights(wm=3)
+    assert strict_distance(state, testcase) == 4
+    # improved: min(4, POP(1111^1000)+3, POP(1111^1100)+3, POP(0)+3)
+    #         = min(4, 3+3, 2+3, 0+3) = 3  (dl holds the exact value)
+    assert improved_distance(state, testcase, weights) == 3
+    # with a smaller misplacement penalty the example's "almost zero"
+    weights1 = CostWeights(wm=1)
+    assert improved_distance(state, testcase, weights1) == 1
+
+
+def test_strict_distance_zero_iff_exact():
+    testcase = _testcase([("rax", 0xFF), ("rbx", 0)])
+    state = MachineState()
+    state.set_reg("rax", 0xFF)
+    assert strict_distance(state, testcase) == 0
+    state.set_reg("rax", 0xFE)
+    assert strict_distance(state, testcase) == 1
+
+
+def test_memory_distance():
+    testcase = _testcase([], [(0x100, 0xFF), (0x101, 0x0F)])
+    state = MachineState()
+    state.memory[0x100] = 0xFF
+    state.memory[0x101] = 0x0F
+    assert strict_distance(state, testcase) == 0
+    state.memory[0x101] = 0x00
+    assert strict_distance(state, testcase) == 4
+
+
+def test_improved_memory_rewards_wrong_location():
+    testcase = _testcase([], [(0x100, 0xAA), (0x101, 0x00)])
+    state = MachineState()
+    state.memory[0x100] = 0x00
+    state.memory[0x101] = 0xAA            # swapped
+    weights = CostWeights(wm=1)
+    strict = strict_distance(state, testcase)
+    improved = improved_distance(state, testcase, weights)
+    assert strict == 8                    # 4 bits wrong at each address
+    assert improved == 2 * (0 + 1)        # found at the other address
+
+
+@given(st.integers(0, (1 << 64) - 1), st.integers(0, (1 << 64) - 1))
+@settings(max_examples=50)
+def test_improved_never_exceeds_strict(expected, actual):
+    testcase = _testcase([("rax", expected)])
+    state = MachineState()
+    state.set_reg("rax", actual)
+    weights = CostWeights()
+    assert improved_distance(state, testcase, weights) <= \
+        strict_distance(state, testcase)
+
+
+def test_err_penalty_weights():
+    state = MachineState()
+    state.events.sigsegv = 2
+    state.events.sigfpe = 1
+    state.events.undef = 3
+    weights = CostWeights(wsf=1, wfp=1, wur=2)
+    assert err_penalty(state, weights) == 2 + 1 + 6
+
+
+def test_testcase_cost_combines_distance_and_err():
+    testcase = _testcase([("rax", 1)])
+    state = MachineState()
+    state.set_reg("rax", 1)
+    state.events.undef = 1
+    weights = CostWeights()
+    assert compute_testcase_cost(state, testcase, weights) == 2  # wur * 1

@@ -1,0 +1,77 @@
+"""CostFunction tests: phases, bounds, and Eq. 13 performance term."""
+
+from repro.cost.function import CostFunction, Phase
+from repro.cost.performance import perf_term
+from repro.testgen.annotations import Annotations
+from repro.testgen.generator import TestcaseGenerator
+from repro.verifier.validator import LiveSpec
+from repro.x86.latency import program_latency
+from repro.x86.parser import parse_program
+
+TARGET = parse_program("""
+    movq rdi, rax
+    addq rsi, rax
+""")
+SPEC = LiveSpec(live_in=("rdi", "rsi"), live_out=("rax",))
+
+
+def _cost_fn(phase):
+    generator = TestcaseGenerator(TARGET, SPEC, Annotations(), seed=1)
+    return CostFunction(generator.generate(8), TARGET, phase=phase)
+
+
+def test_target_costs_zero_in_synthesis():
+    cost = _cost_fn(Phase.SYNTHESIS)
+    result = cost.evaluate(TARGET)
+    assert result.value == 0
+    assert result.correct_on_tests
+
+
+def test_wrong_program_costs_positive():
+    cost = _cost_fn(Phase.SYNTHESIS)
+    wrong = parse_program("movq rdi, rax\nsubq rsi, rax")
+    result = cost.evaluate(wrong)
+    assert result.value is not None and result.value > 0
+
+
+def test_optimization_mode_adds_perf_term():
+    cost = _cost_fn(Phase.OPTIMIZATION)
+    shorter = parse_program("leaq (rdi,rsi,1), rax")
+    result = cost.evaluate(shorter)
+    expected_perf = program_latency(shorter) - program_latency(TARGET)
+    assert result.value == expected_perf
+    assert result.eq_term == 0
+    assert expected_perf < 0
+
+
+def test_perf_term_sign_convention():
+    fast = parse_program("movq rdi, rax")
+    slow = parse_program("movq rdi, -8(rsp)\nmovq -8(rsp), rax")
+    assert perf_term(fast, program_latency(slow)) < 0
+    assert perf_term(slow, program_latency(fast)) > 0
+
+
+def test_bounded_evaluation_terminates_early():
+    cost = _cost_fn(Phase.SYNTHESIS)
+    wrong = parse_program("movq rsi, rax")        # wrong on most inputs
+    unbounded = cost.evaluate(wrong)
+    assert unbounded.value is not None and unbounded.value > 0
+    bounded = cost.evaluate(wrong, bound=1)
+    assert bounded.exceeded
+    assert bounded.testcases_evaluated < len(cost.testcases)
+
+
+def test_bound_not_exceeded_evaluates_fully():
+    cost = _cost_fn(Phase.SYNTHESIS)
+    result = cost.evaluate(TARGET, bound=10_000)
+    assert not result.exceeded
+    assert result.testcases_evaluated == len(cost.testcases)
+
+
+def test_add_testcase_changes_landscape():
+    cost = _cost_fn(Phase.SYNTHESIS)
+    before = len(cost.testcases)
+    generator = TestcaseGenerator(TARGET, SPEC, Annotations(), seed=2)
+    cost.add_testcase(generator.generate(1)[0])
+    assert len(cost.testcases) == before + 1
+    assert cost.evaluate(TARGET).value == 0

@@ -1,0 +1,114 @@
+"""Emulator, state, and sandbox tests (err-term event counting)."""
+
+import pytest
+
+from repro.emulator.cpu import Emulator, run_program
+from repro.emulator.sandbox import Sandbox
+from repro.emulator.state import MachineState
+from repro.errors import StepLimitExceeded
+from repro.x86.parser import parse_program
+from repro.x86.registers import lookup
+
+
+def test_segfault_reads_zero_and_counts():
+    state = MachineState()
+    state.set_reg("rsi", 0xDEAD0000)
+    state.set_reg("rax", 0xFFFFFFFFFFFFFFFF)
+    box = Sandbox(frozenset())              # nothing is addressable
+    Emulator(state, box).run(parse_program("movq (rsi), rax"))
+    assert state.events.sigsegv == 8        # one per byte
+    assert state.get_reg("rax") == 0        # trapped reads produce zero
+
+
+def test_segfaulting_store_is_dropped():
+    state = MachineState()
+    state.set_reg("rsi", 0x1000)
+    state.set_reg("rdi", 42)
+    Emulator(state, Sandbox(frozenset())).run(
+        parse_program("movq rdi, (rsi)"))
+    assert state.events.sigsegv == 8
+    assert not state.memory
+
+
+def test_undefined_register_read_counts():
+    state = MachineState()                  # rbx undefined
+    Emulator(state, Sandbox.recorder()).run(
+        parse_program("movq rbx, rax"))
+    assert state.events.undef == 1
+
+
+def test_undefined_memory_read_counts():
+    state = MachineState()
+    state.set_reg("rsi", 0x1000)
+    box = Sandbox(frozenset(range(0x1000, 0x1008)))
+    Emulator(state, box).run(parse_program("movq (rsi), rax"))
+    assert state.events.undef == 8          # valid but never written
+
+
+def test_recording_sandbox_collects_addresses():
+    state = MachineState()
+    state.set_reg("rsi", 0x2000)
+    state.set_reg("rdi", 7)
+    box = Sandbox.recorder()
+    Emulator(state, box).run(parse_program("movl edi, (rsi)"))
+    assert box.accessed == {0x2000, 0x2001, 0x2002, 0x2003}
+    frozen = box.frozen()
+    assert not frozen.recording
+    assert frozen.check(0x2000)
+    assert not frozen.check(0x3000)
+
+
+def test_memory_little_endian():
+    state = MachineState()
+    state.set_mem_value(0x100, 4, 0x11223344)
+    assert state.memory[0x100] == 0x44
+    assert state.memory[0x103] == 0x11
+    assert state.get_mem_value(0x100, 4) == 0x11223344
+
+
+def test_state_copy_is_independent():
+    state = MachineState()
+    state.set_reg("rax", 5)
+    state.set_mem_value(0x10, 1, 9)
+    clone = state.copy()
+    clone.set_reg("rax", 6)
+    clone.memory[0x10] = 1
+    assert state.get_reg("rax") == 5
+    assert state.memory[0x10] == 9
+    assert clone.events.total() == 0
+
+
+def test_set_reg_by_view():
+    state = MachineState()
+    state.set_reg("rax", 0x1111111111111111)
+    state.set_reg("al", 0xFF)
+    assert state.get_reg("rax") == 0x11111111111111FF
+    state.set_reg("eax", 0x22)
+    assert state.get_reg("rax") == 0x22     # 32-bit write zero-extends
+
+
+def test_definedness_by_view():
+    state = MachineState()
+    state.set_reg("al", 1)
+    assert state.is_defined(lookup("al"))
+    assert not state.is_defined(lookup("rax"))
+    state.set_reg("eax", 1)
+    assert state.is_defined(lookup("rax"))  # zero-extension defines all
+
+
+def test_run_program_returns_state():
+    state = MachineState()
+    state.set_reg("rdi", 2)
+    result = run_program(parse_program("leaq 3(rdi), rax"), state)
+    assert result is state
+    assert state.get_reg("rax") == 5
+
+
+def test_events_accumulate_across_instructions():
+    state = MachineState()
+    Emulator(state, Sandbox(frozenset())).run(parse_program("""
+        movq rbx, rax
+        movq rcx, rdx
+    """))
+    assert state.events.undef == 2
+    assert state.events.total() == 2

@@ -1,0 +1,86 @@
+"""Performance model tests (the Figure 3 'actual runtime' oracle)."""
+
+from repro.perfsim.model import actual_runtime, simulate_cycles
+from repro.x86.latency import program_latency
+from repro.x86.parser import parse_program
+
+
+def test_dependent_chain_costs_latency_sum():
+    chain = parse_program("""
+        addq rsi, rax
+        addq rax, rbx
+        addq rbx, rcx
+        addq rcx, rdx
+    """)
+    result = simulate_cycles(chain)
+    assert result.cycles == result.latency_sum == 4
+    assert result.ilp == 1.0
+
+
+def test_independent_instructions_overlap():
+    parallel = parse_program("""
+        addq rsi, rax
+        addq rdi, rbx
+        addq r8, rcx
+        addq r9, rdx
+    """)
+    result = simulate_cycles(parallel)
+    assert result.latency_sum == 4
+    assert result.cycles == 1           # all issue in one cycle
+    assert result.ilp == 4.0
+
+
+def test_issue_width_limits_overlap():
+    five_wide = parse_program("""
+        addq rsi, rax
+        addq rdi, rbx
+        addq r8, rcx
+        addq r9, rdx
+        addq r10, r11
+    """)
+    assert simulate_cycles(five_wide).cycles == 2    # ISSUE_WIDTH = 4
+
+
+def test_mul_port_contention():
+    muls = parse_program("""
+        imulq rsi, rax
+        imulq rdi, rbx
+    """)
+    result = simulate_cycles(muls)
+    assert result.cycles > 3            # one mul port serializes starts
+
+
+def test_flag_dependences_tracked():
+    flags = parse_program("""
+        addq rsi, rax
+        adcq 0, rdx
+    """)
+    assert simulate_cycles(flags).cycles == 2
+
+
+def test_memory_dependences_tracked():
+    through_memory = parse_program("""
+        movq rdi, -8(rsp)
+        movq -8(rsp), rax
+    """)
+    result = simulate_cycles(through_memory)
+    store_latency = 1 + 2
+    load_latency = 1 + 3
+    assert result.cycles == store_latency + load_latency
+
+
+def test_unused_and_jumps_cost_nothing():
+    prog = parse_program("jae .L1\n.L1\nmovq rdi, rax").padded(10)
+    assert actual_runtime(prog) == 1
+
+
+def test_cycles_never_exceed_latency_sum():
+    for text in (
+        "movq rdi, rax\naddq rsi, rax",
+        "imulq rsi, rax\nimulq rax, rbx",
+        "popcntq rsi, rax\npopcntq rdi, rbx",
+    ):
+        prog = parse_program(text)
+        result = simulate_cycles(prog)
+        assert result.cycles <= result.latency_sum
+        assert result.latency_sum == program_latency(prog)

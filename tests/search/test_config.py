@@ -1,0 +1,52 @@
+"""SearchConfig tests: Figure 11 parameter defaults."""
+
+import pytest
+
+from repro.cost.correctness import CostWeights
+from repro.errors import SearchError
+from repro.search.config import SearchConfig
+
+
+def test_fig11_defaults():
+    """The paper's Figure 11 table, verbatim."""
+    config = SearchConfig()
+    assert config.weights == CostWeights(wsf=1, wfp=1, wur=2, wm=3)
+    assert config.p_opcode == 0.16
+    assert config.p_operand == 0.5
+    assert config.p_swap == 0.16
+    assert config.p_instruction == 0.16
+    assert config.p_unused == 0.16
+    assert config.beta == 0.1
+    assert config.ell == 50
+
+
+def test_move_distribution_normalizes():
+    config = SearchConfig()
+    dist = config.move_distribution()
+    assert abs(sum(dist) - 1.0) < 1e-9
+    assert dist[1] == max(dist)          # operand moves dominate
+
+
+def test_testcase_count_default():
+    assert SearchConfig().testcase_count == 32    # Section 5.1
+
+
+def test_rank_window_default():
+    assert SearchConfig().rank_window == 0.2      # Section 5
+
+
+def test_validation_rejects_bad_parameters():
+    with pytest.raises(SearchError):
+        SearchConfig(beta=0)
+    with pytest.raises(SearchError):
+        SearchConfig(ell=0)
+    with pytest.raises(SearchError):
+        SearchConfig(p_unused=1.5)
+    with pytest.raises(SearchError):
+        SearchConfig(p_opcode=-0.1)
+
+
+def test_frozen():
+    config = SearchConfig()
+    with pytest.raises(Exception):
+        config.beta = 0.5

@@ -1,0 +1,118 @@
+"""Dead code elimination tests, including behavior preservation."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulator.cpu import Emulator
+from repro.emulator.sandbox import Sandbox
+from repro.emulator.state import MachineState
+from repro.search.config import SearchConfig
+from repro.search.dce import eliminate_dead_code
+from repro.search.moves import MoveGenerator
+from repro.verifier.validator import LiveSpec
+from repro.x86.parser import parse_program
+from repro.x86.registers import GPR64
+
+SPEC = LiveSpec(live_in=("rdi", "rsi"), live_out=("rax",))
+
+
+def test_removes_dead_register_write():
+    prog = parse_program("""
+        movq rdi, rax
+        movq rsi, rbx
+    """)
+    cleaned = eliminate_dead_code(prog, SPEC).compact()
+    assert cleaned.instruction_count == 1
+    assert str(cleaned.code[0]) == "movq rdi, rax"
+
+
+def test_keeps_chain_feeding_live_out():
+    prog = parse_program("""
+        movq rdi, rbx
+        addq rsi, rbx
+        movq rbx, rax
+    """)
+    cleaned = eliminate_dead_code(prog, SPEC).compact()
+    assert cleaned.instruction_count == 3
+
+
+def test_removes_dead_flag_writes():
+    prog = parse_program("""
+        cmpq rsi, rdi
+        movq rdi, rax
+    """)
+    cleaned = eliminate_dead_code(prog, SPEC).compact()
+    assert cleaned.instruction_count == 1
+
+
+def test_keeps_flags_feeding_cmov():
+    prog = parse_program("""
+        cmpq rsi, rdi
+        cmovaeq rsi, rax
+    """)
+    cleaned = eliminate_dead_code(prog, SPEC).compact()
+    assert cleaned.instruction_count == 2
+
+
+def test_store_kept_when_loaded_later():
+    prog = parse_program("""
+        movq rdi, -8(rsp)
+        movq -8(rsp), rax
+    """)
+    cleaned = eliminate_dead_code(prog, SPEC).compact()
+    assert cleaned.instruction_count == 2
+
+
+def test_dead_store_removed_when_memory_not_live():
+    prog = parse_program("""
+        movq rdi, rax
+        movq rsi, -8(rsp)
+    """)
+    cleaned = eliminate_dead_code(prog, SPEC).compact()
+    assert cleaned.instruction_count == 1
+
+
+def test_sub_register_write_does_not_kill_liveness():
+    prog = parse_program("""
+        movq rdi, rax
+        movb 1, al
+    """)
+    cleaned = eliminate_dead_code(prog, SPEC).compact()
+    assert cleaned.instruction_count == 2      # both contribute to rax
+
+
+def test_jumpy_programs_left_alone():
+    prog = parse_program("""
+        jae .L1
+        movq rsi, rbx
+        .L1
+        movq rdi, rax
+    """)
+    assert eliminate_dead_code(prog, SPEC) is prog
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_dce_preserves_live_out_behavior(seed):
+    """Random programs: DCE must not change the live outputs."""
+    rng = random.Random(seed)
+    config = SearchConfig(ell=10)
+    target = parse_program("movq rdi, rax")
+    moves = MoveGenerator(target, config, rng)
+    prog = moves.random_program(10)
+    if any(i.opcode.family in ("mul", "imul", "div", "idiv")
+           for i in prog.code):
+        return
+    cleaned = eliminate_dead_code(prog, SPEC)
+    inputs = {reg.name: rng.getrandbits(64) for reg in GPR64}
+    outs = []
+    for candidate in (prog, cleaned):
+        state = MachineState()
+        for name, value in inputs.items():
+            state.set_reg(name, value)
+        state.mark_all_defined()
+        Emulator(state, Sandbox.recorder()).run(candidate)
+        outs.append(state.get_reg("rax"))
+    assert outs[0] == outs[1], f"DCE changed rax on:\n{prog}"

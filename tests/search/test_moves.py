@@ -1,0 +1,114 @@
+"""Proposal move tests (Section 4.3)."""
+
+import random
+from collections import Counter
+
+from repro.search.config import SearchConfig
+from repro.search.moves import (DEFAULT_CONSTANT_BAG, EXCLUDED_FAMILIES,
+                                MoveGenerator, MoveKind)
+from repro.x86.instruction import is_unused
+from repro.x86.operands import Imm, Mem
+from repro.x86.parser import parse_program
+
+TARGET = parse_program("""
+    movq rdi, -8(rsp)
+    movq -8(rsp), rax
+    addq 12345, rax
+""")
+
+
+def _moves(seed=0, **kwargs):
+    config = SearchConfig(ell=8, **kwargs)
+    return MoveGenerator(TARGET, config, random.Random(seed)), config
+
+
+def test_pool_excludes_control_flow_and_division():
+    moves, _ = _moves()
+    families = {op.family for op in moves.pool}
+    assert not families & EXCLUDED_FAMILIES
+
+
+def test_constant_bag_includes_target_immediates():
+    moves, _ = _moves()
+    assert 12345 in moves.constant_bag
+    for value in DEFAULT_CONSTANT_BAG:
+        assert value in moves.constant_bag
+
+
+def test_mem_pool_from_target():
+    moves, _ = _moves()
+    assert len(moves.mem_pool) == 1
+    assert moves.mem_pool[0].disp == -8
+
+
+def test_proposals_always_well_formed():
+    moves, config = _moves()
+    program = TARGET.padded(config.ell)
+    for _ in range(500):
+        program, _kind = moves.propose(program)
+        for instr in program.code:
+            assert instr.opcode.match(instr.operands) is not None
+
+
+def test_move_distribution_roughly_matches_config():
+    moves, config = _moves()
+    program = TARGET.padded(config.ell)
+    counts = Counter()
+    for _ in range(4000):
+        _prog, kind = moves.propose(program)
+        counts[kind] += 1
+    weights = dict(zip(
+        (MoveKind.OPCODE, MoveKind.OPERAND, MoveKind.SWAP,
+         MoveKind.INSTRUCTION),
+        config.move_distribution()))
+    for kind, weight in weights.items():
+        observed = counts[kind] / 4000
+        assert abs(observed - weight) < 0.1, (kind, observed, weight)
+
+
+def test_instruction_move_proposes_unused():
+    moves, config = _moves(p_unused=1.0, p_opcode=0, p_operand=0,
+                           p_swap=0)
+    program = TARGET.padded(config.ell)
+    proposal, kind = moves.propose(program)
+    assert kind is MoveKind.INSTRUCTION
+    assert proposal.instruction_count <= program.instruction_count
+
+
+def test_operand_move_can_flip_memory_to_register():
+    """The slot-class equivalence: r/m slots interchange (Figure 4)."""
+    moves, config = _moves(p_opcode=0, p_swap=0, p_instruction=0)
+    program = TARGET.padded(config.ell)
+    saw_mem_to_reg = False
+    for _ in range(2000):
+        proposal, kind = moves.propose(program)
+        for before, after in zip(program.code, proposal.code):
+            if before != after and before.mem_operand is not None \
+                    and after.mem_operand is None:
+                saw_mem_to_reg = True
+    assert saw_mem_to_reg
+
+
+def test_swap_preserves_multiset():
+    moves, config = _moves(p_opcode=0, p_operand=0, p_instruction=0)
+    program = TARGET.padded(config.ell)
+    proposal, kind = moves.propose(program)
+    assert kind is MoveKind.SWAP
+    assert sorted(str(i) for i in proposal.code) == \
+        sorted(str(i) for i in program.code)
+
+
+def test_random_program_length_and_padding():
+    moves, config = _moves()
+    program = moves.random_program()
+    assert len(program) == config.ell
+    program5 = moves.random_program(5)
+    assert len(program5) == 5
+
+
+def test_proposals_never_touch_labels():
+    moves, config = _moves()
+    program = TARGET.padded(config.ell)
+    for _ in range(300):
+        program, _kind = moves.propose(program)
+        assert not program.has_jumps()

@@ -1,0 +1,107 @@
+"""Bit-vector DAG tests: hash consing, simplification, evaluation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.bitvec import Context
+from repro.x86.algebra import INT_ALGEBRA, mask
+
+
+def test_hash_consing_interns_identical_terms():
+    ctx = Context()
+    x = ctx.var(32, "x")
+    a = ctx.add(32, x, ctx.const(32, 5))
+    b = ctx.add(32, x, ctx.const(32, 5))
+    assert a is b
+
+
+def test_commutative_normal_form():
+    ctx = Context()
+    x, y = ctx.var(32, "x"), ctx.var(32, "y")
+    assert ctx.add(32, x, y) is ctx.add(32, y, x)
+    assert ctx.and_(32, x, y) is ctx.and_(32, y, x)
+    assert ctx.xor(32, x, y) is ctx.xor(32, y, x)
+
+
+def test_constant_folding():
+    ctx = Context()
+    five = ctx.const(32, 5)
+    seven = ctx.const(32, 7)
+    assert ctx.add(32, five, seven).value == 12
+    assert ctx.mul(32, five, seven).value == 35
+    assert ctx.eq(32, five, five).value == 1
+
+
+def test_base_offset_canonicalization():
+    """(x + c1) + c2 folds; x - c joins the same form (stack slots)."""
+    ctx = Context()
+    rsp = ctx.var(64, "rsp")
+    a = ctx.add(64, ctx.add(64, rsp, ctx.const(64, -8)),
+                ctx.const(64, -8))
+    b = ctx.sub(64, rsp, ctx.const(64, 16))
+    assert a is b
+
+
+def test_same_base_different_offset_disequal():
+    ctx = Context()
+    rsp = ctx.var(64, "rsp")
+    slot_a = ctx.add(64, rsp, ctx.const(64, -8))
+    slot_b = ctx.add(64, rsp, ctx.const(64, -16))
+    assert ctx.eq(64, slot_a, slot_b).value == 0
+    assert ctx.eq(64, rsp, slot_a).value == 0
+
+
+def test_identity_simplifications():
+    ctx = Context()
+    x = ctx.var(32, "x")
+    zero = ctx.const(32, 0)
+    ones = ctx.const(32, mask(32))
+    assert ctx.add(32, x, zero) is x
+    assert ctx.and_(32, x, ones) is x
+    assert ctx.and_(32, x, zero).value == 0
+    assert ctx.or_(32, x, zero) is x
+    assert ctx.xor(32, x, x).value == 0
+    assert ctx.not_(32, ctx.not_(32, x)) is x
+    assert ctx.ite(32, ctx.true(), x, zero) is x
+    assert ctx.extract(31, 0, x) is x
+
+
+def test_extract_through_concat_and_zext():
+    ctx = Context()
+    hi = ctx.var(32, "hi")
+    lo = ctx.var(32, "lo")
+    joined = ctx.concat(32, hi, 32, lo)
+    assert ctx.extract(31, 0, joined) is lo
+    assert ctx.extract(63, 32, joined) is hi
+    widened = ctx.zext(32, 64, lo)
+    assert ctx.extract(15, 0, widened) is ctx.extract(15, 0, lo)
+    assert ctx.extract(63, 32, widened).value == 0
+
+
+_ops = st.sampled_from(["add", "sub", "mul", "and_", "or_", "xor",
+                        "shl", "lshr", "ashr"])
+
+
+@given(st.lists(st.tuples(_ops, st.integers(0, mask(32))),
+                min_size=1, max_size=12),
+       st.integers(0, mask(32)))
+@settings(max_examples=60)
+def test_evaluate_matches_int_algebra(steps, x_value):
+    """Random expression chains evaluate like the concrete algebra."""
+    ctx = Context()
+    expr = ctx.var(32, "x")
+    expected = x_value
+    for op_name, constant in steps:
+        const_node = ctx.const(32, constant)
+        expr = getattr(ctx, op_name)(32, expr, const_node)
+        fold = getattr(INT_ALGEBRA, op_name)
+        expected = fold(32, expected, constant)
+    assert ctx.evaluate(expr, {"x": x_value}) == expected
+
+
+def test_popcount_lowering():
+    ctx = Context()
+    x = ctx.var(16, "x")
+    pc = ctx.popcount(16, x)
+    for value in (0, 1, 0xFFFF, 0x5555, 0x8001):
+        assert ctx.evaluate(pc, {"x": value}) == bin(value).count("1")

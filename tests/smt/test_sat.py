@@ -1,0 +1,119 @@
+"""CDCL SAT solver tests, including differential tests vs brute force."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverTimeoutError
+from repro.smt.sat import CNF, Solver, solve_cnf
+
+
+def _brute_force(num_vars: int, clauses) -> bool:
+    for bits in itertools.product([False, True], repeat=num_vars):
+        def value(lit):
+            truth = bits[abs(lit) - 1]
+            return truth if lit > 0 else not truth
+        if all(any(value(lit) for lit in clause) for clause in clauses):
+            return True
+    return False
+
+
+def _cnf(num_vars: int, clauses) -> CNF:
+    cnf = CNF()
+    for _ in range(num_vars):
+        cnf.new_var()
+    for clause in clauses:
+        cnf.add_clause(list(clause))
+    return cnf
+
+
+def test_empty_formula_is_sat():
+    sat, _ = solve_cnf(_cnf(2, []))
+    assert sat
+
+
+def test_empty_clause_is_unsat():
+    sat, _ = solve_cnf(_cnf(1, [[]]))
+    assert not sat
+
+
+def test_unit_propagation_chain():
+    clauses = [[1], [-1, 2], [-2, 3], [-3, 4]]
+    sat, model = solve_cnf(_cnf(4, clauses))
+    assert sat
+    assert model[1] and model[2] and model[3] and model[4]
+
+
+def test_simple_unsat():
+    sat, _ = solve_cnf(_cnf(1, [[1], [-1]]))
+    assert not sat
+
+
+def test_pigeonhole_3_into_2_unsat():
+    """PHP(3,2): classic small UNSAT instance requiring learning."""
+    # variable p_{i,j} = pigeon i in hole j; vars 1..6
+    def var(i, j):
+        return i * 2 + j + 1
+    clauses = [[var(i, 0), var(i, 1)] for i in range(3)]
+    for j in range(2):
+        for i1 in range(3):
+            for i2 in range(i1 + 1, 3):
+                clauses.append([-var(i1, j), -var(i2, j)])
+    sat, _ = solve_cnf(_cnf(6, clauses))
+    assert not sat
+
+
+def test_model_satisfies_clauses():
+    rng = random.Random(5)
+    clauses = [[rng.choice([1, -1]) * rng.randint(1, 8)
+                for _ in range(3)] for _ in range(20)]
+    sat, model = solve_cnf(_cnf(8, clauses))
+    if sat:
+        for clause in clauses:
+            assert any(model[abs(l)] == (l > 0) for l in clause)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_random_3sat_matches_brute_force(seed):
+    rng = random.Random(seed)
+    num_vars = rng.randint(3, 7)
+    num_clauses = rng.randint(1, 24)
+    clauses = []
+    for _ in range(num_clauses):
+        size = rng.randint(1, 3)
+        clause = [rng.choice([1, -1]) * rng.randint(1, num_vars)
+                  for _ in range(size)]
+        clauses.append(clause)
+    sat, model = solve_cnf(_cnf(num_vars, clauses))
+    assert sat == _brute_force(num_vars, clauses)
+    if sat:
+        for clause in clauses:
+            assert any(model[abs(l)] == (l > 0) for l in clause)
+
+
+def test_conflict_budget_raises():
+    # a hard-ish pigeonhole with a tiny budget must time out
+    def var(i, j):
+        return i * 4 + j + 1
+    clauses = [[var(i, j) for j in range(4)] for i in range(5)]
+    for j in range(4):
+        for i1 in range(5):
+            for i2 in range(i1 + 1, 5):
+                clauses.append([-var(i1, j), -var(i2, j)])
+    cnf = _cnf(20, clauses)
+    with pytest.raises(SolverTimeoutError):
+        Solver(cnf, max_conflicts=3).solve()
+
+
+def test_tautological_clause_ignored():
+    sat, _ = solve_cnf(_cnf(2, [[1, -1], [2]]))
+    assert sat
+
+
+def test_duplicate_literals_deduped():
+    sat, model = solve_cnf(_cnf(1, [[1, 1, 1]]))
+    assert sat and model[1]

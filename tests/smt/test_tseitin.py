@@ -1,0 +1,100 @@
+"""Bit-blasting correctness: SAT models must agree with evaluation."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.bitvec import BV, Context
+from repro.smt.sat import Solver
+from repro.smt.solver import BVSolver
+from repro.x86.algebra import mask
+
+_WIDTH = 8
+
+_BINOPS = ["add", "sub", "mul", "and_", "or_", "xor", "shl", "lshr",
+           "ashr", "eq", "ult", "slt"]
+
+
+def _random_expr(ctx: Context, rng: random.Random, depth: int) -> BV:
+    if depth == 0 or rng.random() < 0.3:
+        if rng.random() < 0.5:
+            return ctx.var(_WIDTH, rng.choice("xyz"))
+        return ctx.const(_WIDTH, rng.getrandbits(_WIDTH))
+    op = rng.choice(_BINOPS)
+    a = _random_expr(ctx, rng, depth - 1)
+    b = _random_expr(ctx, rng, depth - 1)
+    result = getattr(ctx, op)(_WIDTH, a, b)
+    if result.width == 1:
+        return ctx.ite(_WIDTH, result, ctx.const(_WIDTH, 1),
+                       ctx.const(_WIDTH, 0))
+    return result
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=50, deadline=None)
+def test_blasted_semantics_match_evaluation(seed):
+    """expr == const(evaluate(expr, env)) must be SAT under env."""
+    rng = random.Random(seed)
+    ctx = Context()
+    expr = _random_expr(ctx, rng, 4)
+    env = {name: rng.getrandbits(_WIDTH) for name in "xyz"}
+    expected = ctx.evaluate(expr, env)
+
+    solver = BVSolver(ctx)
+    # pin the variables to env, assert expr != expected -> must be UNSAT
+    for name, value in env.items():
+        solver.add(ctx.eq(_WIDTH, ctx.var(_WIDTH, name),
+                          ctx.const(_WIDTH, value)))
+    solver.add(ctx.not_(1, ctx.eq(_WIDTH, expr,
+                                  ctx.const(_WIDTH, expected))))
+    assert not solver.check().is_sat
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=30, deadline=None)
+def test_sat_models_are_real_solutions(seed):
+    """When expr == K is SAT, the model actually evaluates to K."""
+    rng = random.Random(seed)
+    ctx = Context()
+    expr = _random_expr(ctx, rng, 3)
+    target = rng.getrandbits(_WIDTH)
+    solver = BVSolver(ctx)
+    solver.add(ctx.eq(_WIDTH, expr, ctx.const(_WIDTH, target)))
+    outcome = solver.check()
+    if outcome.is_sat:
+        env = {name: outcome.model.get(name, 0) for name in "xyz"}
+        assert ctx.evaluate(expr, env) == target
+
+
+def test_variable_shift_blasting():
+    ctx = Context()
+    x = ctx.var(8, "x")
+    c = ctx.var(8, "c")
+    expr = ctx.shl(8, x, c)
+    solver = BVSolver(ctx)
+    solver.add(ctx.eq(8, x, ctx.const(8, 3)))
+    solver.add(ctx.eq(8, c, ctx.const(8, 6)))
+    solver.add(ctx.not_(1, ctx.eq(8, expr, ctx.const(8, 0xC0))))
+    assert not solver.check().is_sat
+
+
+def test_shift_overflow_yields_zero():
+    ctx = Context()
+    x = ctx.var(8, "x")
+    solver = BVSolver(ctx)
+    shifted = ctx.lshr(8, x, ctx.var(8, "c"))
+    solver.add(ctx.ult(8, ctx.const(8, 7), ctx.var(8, "c")))  # c > 7
+    solver.add(ctx.not_(1, ctx.eq(8, shifted, ctx.const(8, 0))))
+    assert not solver.check().is_sat
+
+
+def test_multiplier_correct_on_64_bit():
+    ctx = Context()
+    x = ctx.var(64, "x")
+    solver = BVSolver(ctx)
+    solver.add(ctx.eq(64, ctx.mul(64, x, ctx.const(64, 3)),
+                      ctx.const(64, 51)))
+    outcome = solver.check()
+    assert outcome.is_sat
+    assert outcome.model["x"] == 17

@@ -1,0 +1,144 @@
+"""Benchmark suite tests: every kernel's codegens match its reference."""
+
+import random
+
+import pytest
+
+from repro.cc.interp import evaluate
+from repro.emulator.cpu import Emulator
+from repro.emulator.sandbox import Sandbox
+from repro.emulator.state import MachineState
+from repro.suite.hackers_delight import STARRED, SYNTHESIS_TIMEOUT
+from repro.suite.kernels import mont_ref, saxpy_ref
+from repro.suite.registry import all_benchmarks, benchmark, hd_benchmarks
+from repro.x86.latency import program_latency
+
+HD_NAMES = [b.name for b in hd_benchmarks()]
+
+
+def _run(prog, memory=None, **regs) -> MachineState:
+    state = MachineState()
+    state.set_reg("rsp", 0x7FFF0000)
+    for name, value in regs.items():
+        state.set_reg(name, value)
+    for addr, value in (memory or {}).items():
+        state.memory[addr] = value
+    Emulator(state, Sandbox.recorder()).run(prog)
+    return state
+
+
+def test_registry_has_28_kernels():
+    names = {b.name for b in all_benchmarks()}
+    assert len([n for n in names if n.startswith("p")]) == 25
+    assert {"mont", "saxpy", "list"} <= names
+
+
+def test_paper_annotations():
+    assert STARRED == {"p18", "p21", "p22", "p23", "p25"}
+    assert SYNTHESIS_TIMEOUT == {"p19", "p20", "p24"}
+    assert benchmark("mont").starred
+    assert benchmark("saxpy").starred
+    assert not benchmark("list").starred
+
+
+@pytest.mark.parametrize("name", HD_NAMES)
+def test_hd_kernel_codegens_match_reference(name):
+    bench = benchmark(name)
+    rng = random.Random(hash(name) & 0xFFFF)
+    for _ in range(25):
+        args = {}
+        for param in bench.fn.params:
+            if param.name == "k":
+                args[param.name] = rng.randrange(32)
+            elif name == "p20" and param.name == "x":
+                args[param.name] = rng.randrange(1, 1 << 32)
+            else:
+                args[param.name] = rng.getrandbits(param.width)
+        ordered = [args[p.name] for p in bench.fn.params]
+        expected = bench.reference(*ordered)
+        assert evaluate(bench.fn, args)["eax"] == expected, "interp"
+        for flavor in ("o0", "gcc", "icc"):
+            prog = getattr(bench, flavor)
+            regs = {p.reg: args[p.name] for p in bench.fn.params}
+            state = _run(prog, **regs)
+            assert state.get_reg("eax") == expected, \
+                (name, flavor, args)
+            assert state.events.total() == 0
+
+
+@pytest.mark.parametrize("name", HD_NAMES)
+def test_hd_o0_is_heavier_than_gcc(name):
+    bench = benchmark(name)
+    assert program_latency(bench.o0) > program_latency(bench.gcc)
+
+
+def test_hd_corner_values():
+    """Zero, one, minimum, maximum must not diverge anywhere."""
+    corner = [0, 1, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF]
+    for name in ("p01", "p09", "p13", "p16", "p18", "p22", "p24"):
+        bench = benchmark(name)
+        for x in corner:
+            if name == "p20" and x == 0:
+                continue
+            args = {p.name: x for p in bench.fn.params}
+            if "k" in args:
+                args["k"] = 5
+            ordered = [args[p.name] for p in bench.fn.params]
+            expected = bench.reference(*ordered)
+            regs = {p.reg: args[p.name] for p in bench.fn.params}
+            state = _run(bench.o0, **regs)
+            assert state.get_reg("eax") == expected, (name, x)
+
+
+def test_mont_codegens_and_paper_listings():
+    bench = benchmark("mont")
+    rng = random.Random(77)
+    for _ in range(40):
+        vals = {"rsi": rng.getrandbits(64), "ecx": rng.getrandbits(32),
+                "edx": rng.getrandbits(32), "rdi": rng.getrandbits(64),
+                "r8": rng.getrandbits(64)}
+        lo, hi = mont_ref(vals["rsi"], vals["ecx"], vals["edx"],
+                          vals["rdi"], vals["r8"])
+        for flavor in ("o0", "gcc", "icc", "paper_stoke"):
+            prog = getattr(bench, flavor)
+            state = _run(prog, **vals)
+            assert state.get_reg("rdi") == lo, flavor
+            assert state.get_reg("r8") == hi, flavor
+
+
+def test_saxpy_codegens():
+    bench = benchmark("saxpy")
+    rng = random.Random(13)
+    for _ in range(20):
+        xs = [rng.getrandbits(32) for _ in range(12)]
+        ys = [rng.getrandbits(32) for _ in range(12)]
+        a = rng.getrandbits(32)
+        i = rng.randrange(0, 8)
+        memory = {}
+        for k, v in enumerate(xs):
+            memory.update({0x10000000 + 4 * k + j: b for j, b in
+                           enumerate(v.to_bytes(4, "little"))})
+        for k, v in enumerate(ys):
+            memory.update({0x20000000 + 4 * k + j: b for j, b in
+                           enumerate(v.to_bytes(4, "little"))})
+        expected = saxpy_ref(xs, ys, a, i)
+        for flavor in ("o0", "gcc", "icc"):
+            state = _run(getattr(bench, flavor), memory=dict(memory),
+                         rsi=0x10000000, rdx=0x20000000, edi=a, ecx=i)
+            got = [state.get_mem_value(0x10000000 + 4 * k, 4)
+                   for k in range(12)]
+            assert got == expected, flavor
+
+
+def test_mont_paper_shape():
+    """Figure 1's sizes: gcc 27 instructions, STOKE 11."""
+    bench = benchmark("mont")
+    assert bench.gcc.instruction_count == 27
+    assert bench.paper_stoke.instruction_count == 11
+
+
+def test_list_fragment_listings():
+    bench = benchmark("list")
+    assert bench.o0.instruction_count == 4
+    assert bench.gcc.instruction_count == 2
+    assert program_latency(bench.gcc) < program_latency(bench.o0)

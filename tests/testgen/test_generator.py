@@ -1,0 +1,109 @@
+"""Testcase generation tests (the PinTool substitute)."""
+
+import pytest
+
+from repro.errors import EmulationError
+from repro.testgen.annotations import (Annotations, ConstantInput,
+                                       PointerInput, RandomInput,
+                                       RangeInput)
+from repro.testgen.generator import (STACK_BASE, TestcaseGenerator)
+from repro.testgen.testcase import resolve_mem_out
+from repro.verifier.validator import Counterexample, LiveSpec
+from repro.x86.operands import Mem
+from repro.x86.parser import parse_program
+from repro.x86.registers import lookup
+
+ADD = parse_program("movq rdi, rax\naddq rsi, rax")
+ADD_SPEC = LiveSpec(live_in=("rdi", "rsi"), live_out=("rax",))
+
+
+def test_generated_testcases_record_target_outputs():
+    generator = TestcaseGenerator(ADD, ADD_SPEC, Annotations(), seed=0)
+    for testcase in generator.generate(8):
+        regs = dict(testcase.input_regs)
+        expected = dict(testcase.expected_regs)
+        total = (regs["rdi"] + regs["rsi"]) & ((1 << 64) - 1)
+        assert expected["rax"] == total
+
+
+def test_rsp_is_an_implicit_live_in():
+    generator = TestcaseGenerator(ADD, ADD_SPEC, Annotations(), seed=0)
+    testcase = generator.generate(1)[0]
+    assert dict(testcase.input_regs)["rsp"] == STACK_BASE
+
+
+def test_constant_and_range_annotations():
+    annotations = Annotations({"rdi": ConstantInput(7),
+                               "rsi": RangeInput(1, 3)})
+    generator = TestcaseGenerator(ADD, ADD_SPEC, annotations, seed=0)
+    for testcase in generator.generate(8):
+        regs = dict(testcase.input_regs)
+        assert regs["rdi"] == 7
+        assert 1 <= regs["rsi"] <= 3
+
+
+def test_masked_random_annotation():
+    annotations = Annotations({"rdi": RandomInput(mask=0xFF)})
+    generator = TestcaseGenerator(ADD, ADD_SPEC, annotations, seed=0)
+    for testcase in generator.generate(8):
+        assert dict(testcase.input_regs)["rdi"] <= 0xFF
+
+
+def test_pointer_annotation_allocates_region():
+    load = parse_program("movq (rdi), rax")
+    spec = LiveSpec(live_in=("rdi",), live_out=("rax",))
+    annotations = Annotations({"rdi": PointerInput(size=16)})
+    generator = TestcaseGenerator(load, spec, annotations, seed=0)
+    testcase = generator.generate(1)[0]
+    base = dict(testcase.input_regs)["rdi"]
+    memory = dict(testcase.input_memory)
+    assert all(base + i in memory for i in range(16))
+    expected = dict(testcase.expected_regs)
+    value = int.from_bytes(
+        bytes(memory[base + i] for i in range(8)), "little")
+    assert expected["rax"] == value
+
+
+def test_sandbox_covers_target_accesses():
+    stacky = parse_program("""
+        movq rdi, -8(rsp)
+        movq -8(rsp), rax
+    """)
+    spec = LiveSpec(live_in=("rdi",), live_out=("rax",))
+    generator = TestcaseGenerator(stacky, spec, Annotations(), seed=0)
+    testcase = generator.generate(1)[0]
+    for i in range(8):
+        assert (STACK_BASE - 8 + i) in testcase.valid_addresses
+
+
+def test_counterexample_packaging():
+    generator = TestcaseGenerator(ADD, ADD_SPEC, Annotations(), seed=0)
+    cex = Counterexample(registers={"rdi": 5, "rsi": 6, "rsp": 0x100},
+                         memory={})
+    testcase = generator.from_counterexample(cex)
+    regs = dict(testcase.input_regs)
+    assert regs["rdi"] == 5 and regs["rsi"] == 6
+    assert dict(testcase.expected_regs)["rax"] == 11
+
+
+def test_faulting_target_raises():
+    div = parse_program("divq rsi")
+    spec = LiveSpec(live_in=("rax", "rdx", "rsi"), live_out=("rax",))
+    annotations = Annotations({"rsi": ConstantInput(0)})
+    generator = TestcaseGenerator(div, spec, annotations, seed=0)
+    with pytest.raises(EmulationError):
+        generator.generate(1)
+
+
+def test_resolve_mem_out():
+    mem = Mem(base=lookup("rsi"), index=lookup("rcx"), scale=4, disp=8)
+    assert resolve_mem_out(mem, {"rsi": 0x100, "rcx": 2}) == 0x110
+    # register views resolve through their full register
+    mem32 = Mem(base=lookup("rsi"))
+    assert resolve_mem_out(mem32, {"rsi": 0x42}) == 0x42
+
+
+def test_determinism_by_seed():
+    a = TestcaseGenerator(ADD, ADD_SPEC, Annotations(), seed=9)
+    b = TestcaseGenerator(ADD, ADD_SPEC, Annotations(), seed=9)
+    assert a.generate(4) == b.generate(4)

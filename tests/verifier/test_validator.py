@@ -1,0 +1,148 @@
+"""Equivalence validator tests (Section 5.2)."""
+
+import pytest
+
+from repro.errors import SymbolicExecutionError
+from repro.verifier.validator import LiveSpec, Validator
+from repro.x86.operands import Mem
+from repro.x86.parser import parse_program
+from repro.x86.registers import lookup
+
+
+def _spec(live_in, live_out, mem_out=()):
+    return LiveSpec(live_in=tuple(live_in), live_out=tuple(live_out),
+                    mem_out=tuple(mem_out))
+
+
+def test_equivalent_add_forms():
+    t = parse_program("movq rdi, rax\naddq rsi, rax")
+    r = parse_program("leaq (rdi,rsi,1), rax")
+    result = Validator().validate(t, r, _spec(["rdi", "rsi"], ["rax"]))
+    assert result.equivalent
+
+
+def test_refutes_off_by_one_with_counterexample():
+    t = parse_program("movq rdi, rax")
+    r = parse_program("leaq 1(rdi), rax")
+    result = Validator().validate(t, r, _spec(["rdi"], ["rax"]))
+    assert not result.equivalent
+    cex = result.counterexample
+    assert cex is not None
+    # any rdi value is a counterexample; check it distinguishes
+    assert (cex.registers["rdi"] + 1) & ((1 << 64) - 1) != \
+        cex.registers["rdi"]
+
+
+def test_flags_are_not_live_outputs():
+    """Differing flag effects are fine when only registers are live."""
+    t = parse_program("movq rdi, rax\naddq 0, rax")   # writes flags
+    r = parse_program("movq rdi, rax")                # does not
+    result = Validator().validate(t, r, _spec(["rdi"], ["rax"]))
+    assert result.equivalent
+
+
+def test_upper_bits_of_32_bit_live_in_are_unconstrained():
+    """With live-in edi, a rewrite may not rely on rdi's upper half."""
+    t = parse_program("movl edi, eax")                # zero-extends
+    r = parse_program("movq rdi, rax")                # keeps upper bits
+    result = Validator().validate(t, r, _spec(["edi"], ["rax"]))
+    assert not result.equivalent
+    r2 = parse_program("mov edi, edi\nmovq rdi, rax")
+    result2 = Validator().validate(t, r2, _spec(["edi"], ["rax"]))
+    assert result2.equivalent
+
+
+def test_stack_slots_do_not_alias():
+    t = parse_program("""
+        movq rdi, -8(rsp)
+        movq rsi, -16(rsp)
+        movq -8(rsp), rax
+    """)
+    r = parse_program("movq rdi, rax")
+    result = Validator().validate(t, r, _spec(["rdi", "rsi"], ["rax"]))
+    assert result.equivalent
+
+
+def test_memory_output_equivalence():
+    t = parse_program("movq rdi, (rsi)")
+    r = parse_program("""
+        movq rdi, rax
+        movq rax, (rsi)
+    """)
+    mem_out = ((Mem(base=lookup("rsi")), 8),)
+    result = Validator().validate(
+        t, r, _spec(["rdi", "rsi"], [], mem_out))
+    assert result.equivalent
+
+
+def test_memory_output_difference_detected():
+    t = parse_program("movq rdi, (rsi)")
+    r = parse_program("movq rdi, 8(rsi)")      # wrong slot
+    mem_out = ((Mem(base=lookup("rsi")), 8),)
+    result = Validator().validate(
+        t, r, _spec(["rdi", "rsi"], [], mem_out))
+    assert not result.equivalent
+
+
+def test_uninterpreted_mul_proves_commuted_rewrite():
+    t = parse_program("movq rdi, rax\nmulq rsi")
+    r = parse_program("movq rsi, rax\nmulq rdi")
+    result = Validator().validate(
+        t, r, _spec(["rdi", "rsi"], ["rax", "rdx"]))
+    assert result.equivalent
+
+
+def test_uninterpreted_mul_does_not_prove_too_much():
+    t = parse_program("movq rdi, rax\nmulq rsi")
+    r = parse_program("movq rdi, rax\nmulq rdx")    # different operand
+    result = Validator().validate(
+        t, r, _spec(["rdi", "rsi"], ["rax"]))
+    assert not result.equivalent
+
+
+def test_branchy_target_validates():
+    """The jae pattern of the Figure 1 gcc listing."""
+    t = parse_program("""
+        cmpq rsi, rdi
+        jae .L1
+        movq rsi, rax
+        jmp .L2
+        .L1
+        movq rdi, rax
+        .L2
+    """)
+    r = parse_program("""
+        cmpq rsi, rdi
+        movq rsi, rax
+        cmovaeq rdi, rax
+    """)
+    result = Validator().validate(t, r, _spec(["rdi", "rsi"], ["rax"]))
+    assert result.equivalent
+
+
+def test_counterexample_distinguishes_on_emulator():
+    """Counterexamples must be real: re-run both programs on them."""
+    from repro.emulator.cpu import Emulator
+    from repro.emulator.sandbox import Sandbox
+    from repro.emulator.state import MachineState
+    t = parse_program("movq rdi, rax\nandq rsi, rax")
+    r = parse_program("movq rdi, rax\norq rsi, rax")
+    spec = _spec(["rdi", "rsi"], ["rax"])
+    result = Validator().validate(t, r, spec)
+    assert not result.equivalent
+    cex = result.counterexample
+    outs = []
+    for prog in (t, r):
+        state = MachineState()
+        for name, value in cex.registers.items():
+            state.set_reg(name, value)
+        Emulator(state, Sandbox.recorder()).run(prog)
+        outs.append(state.get_reg("rax"))
+    assert outs[0] != outs[1]
+
+
+def test_mem_out_requires_live_in_address_register():
+    t = parse_program("movq rdi, (rsi)")
+    mem_out = ((Mem(base=lookup("r9")), 8),)
+    with pytest.raises(SymbolicExecutionError):
+        Validator().validate(t, t, _spec(["rdi", "rsi"], [], mem_out))

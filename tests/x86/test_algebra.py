@@ -1,0 +1,113 @@
+"""Property tests for the concrete value algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.x86.algebra import INT_ALGEBRA as A, mask, to_signed
+
+widths = st.sampled_from([8, 16, 32, 64])
+
+
+@st.composite
+def width_and_values(draw, n=2):
+    width = draw(widths)
+    values = [draw(st.integers(0, mask(width))) for _ in range(n)]
+    return (width, *values)
+
+
+@given(width_and_values())
+def test_add_sub_inverse(args):
+    width, a, b = args
+    assert A.sub(width, A.add(width, a, b), b) == a
+
+
+@given(width_and_values())
+def test_neg_is_sub_from_zero(args):
+    width, a, _ = args
+    assert A.neg(width, a) == A.sub(width, 0, a)
+
+
+@given(width_and_values())
+def test_de_morgan(args):
+    width, a, b = args
+    lhs = A.not_(width, A.and_(width, a, b))
+    rhs = A.or_(width, A.not_(width, a), A.not_(width, b))
+    assert lhs == rhs
+
+
+@given(width_and_values())
+def test_xor_self_cancels(args):
+    width, a, b = args
+    assert A.xor(width, a, a) == 0
+    assert A.xor(width, A.xor(width, a, b), b) == a
+
+
+@given(width_and_values(), st.integers(0, 70))
+def test_shift_roundtrip_low_bits(args, count):
+    width, a, _ = args
+    shifted = A.lshr(width, A.shl(width, a, count), count)
+    if count >= width:
+        assert shifted == 0
+    else:
+        assert shifted == a & (mask(width) >> count)
+
+
+@given(width_and_values())
+def test_ashr_matches_python_semantics(args):
+    width, a, _ = args
+    assert to_signed(width, A.ashr(width, a, width - 1)) in (0, -1)
+
+
+@given(width_and_values())
+def test_comparisons_consistent(args):
+    width, a, b = args
+    assert A.ult(width, a, b) == (1 if a < b else 0)
+    assert A.slt(width, a, b) == \
+        (1 if to_signed(width, a) < to_signed(width, b) else 0)
+    assert A.eq(width, a, b) == (1 if a == b else 0)
+
+
+@given(width_and_values())
+def test_extract_concat_roundtrip(args):
+    width, a, _ = args
+    half = width // 2
+    hi = A.extract(width - 1, half, a)
+    lo = A.extract(half - 1, 0, a)
+    assert A.concat(half, hi, half, lo) == a
+
+
+@given(width_and_values())
+def test_sext_preserves_signed_value(args):
+    width, a, _ = args
+    wide = A.sext(width, 2 * width, a)
+    assert to_signed(2 * width, wide) == to_signed(width, a)
+
+
+@given(width_and_values())
+def test_popcount(args):
+    width, a, _ = args
+    assert A.popcount(width, a) == bin(a).count("1")
+
+
+@given(width_and_values())
+def test_division_identity(args):
+    width, a, b = args
+    if b == 0:
+        return
+    q = A.udiv(width, a, b)
+    r = A.urem(width, a, b)
+    assert q * b + r == a
+    assert 0 <= r < b
+
+
+@given(width_and_values())
+def test_signed_division_truncates_toward_zero(args):
+    width, a, b = args
+    if b == 0:
+        return
+    q = to_signed(width, A.sdiv(width, a, b))
+    r = to_signed(width, A.srem(width, a, b))
+    sa, sb = to_signed(width, a), to_signed(width, b)
+    if q * sb + r == sa:        # representable case
+        assert abs(r) < abs(sb)
+        assert r == 0 or (r < 0) == (sa < 0)

@@ -1,0 +1,107 @@
+"""Parser tests: the paper's assembly dialect."""
+
+import pytest
+
+from repro.errors import AsmSyntaxError, UnknownOpcodeError
+from repro.x86.operands import Imm, Label, Mem, Reg
+from repro.x86.parser import parse_instruction, parse_program
+
+
+def test_register_operands():
+    instr = parse_instruction("movq rsi, r9")
+    assert instr.opcode.name == "movq"
+    assert isinstance(instr.operands[0], Reg)
+    assert instr.operands[0].reg.name == "rsi"
+
+
+def test_immediate_operand():
+    instr = parse_instruction("shrq 32, rsi")
+    assert isinstance(instr.operands[0], Imm)
+    assert instr.operands[0].value == 32
+
+
+def test_hex_immediate():
+    instr = parse_instruction("andl 0xffffffff, r9d")
+    assert instr.operands[0].value == 0xFFFFFFFF
+
+
+def test_named_constant():
+    instr = parse_instruction("movabsq c1, rdx",
+                              constants={"c1": 0x100000000})
+    assert instr.operands[0].value == 0x100000000
+
+
+def test_memory_operand_full_form():
+    instr = parse_instruction("leaq (rsi,rcx,4), r8")
+    mem = instr.operands[0]
+    assert isinstance(mem, Mem)
+    assert mem.base.name == "rsi"
+    assert mem.index.name == "rcx"
+    assert mem.scale == 4
+    assert mem.disp == 0
+
+
+def test_memory_operand_disp_only_base():
+    instr = parse_instruction("movq -8(rsp), rdi")
+    mem = instr.operands[0]
+    assert mem.base.name == "rsp"
+    assert mem.disp == -8
+    assert mem.index is None
+
+
+def test_unsuffixed_mnemonic_width_inference():
+    instr = parse_instruction("mov edx, edx")
+    assert instr.opcode.name == "movl"
+
+
+def test_sse_movq_alias():
+    instr = parse_instruction("movq rax, xmm1")
+    assert instr.opcode.name == "movq_xmm"
+
+
+def test_label_operand():
+    instr = parse_instruction("jae .L2")
+    assert isinstance(instr.operands[0], Label)
+    assert instr.jump_target == ".L2"
+
+
+def test_unknown_opcode_raises():
+    with pytest.raises(UnknownOpcodeError):
+        parse_instruction("frobnicate rax, rbx")
+
+
+def test_program_with_labels_and_set():
+    prog = parse_program("""
+        .set big 0x100000000
+        jae .L2
+        movabsq big, rdx
+        .L2
+        movq rax, rsi
+    """)
+    assert len(prog) == 3
+    assert prog.labels[".L2"] == 2
+
+
+def test_backward_jump_rejected():
+    with pytest.raises(AsmSyntaxError):
+        parse_program("""
+            .L0
+            addq rsi, rax
+            jne .L0
+        """)
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AsmSyntaxError):
+        parse_program("jne .Lmissing")
+
+
+def test_comments_stripped():
+    prog = parse_program("movq rax, rbx  # copy\n# full-line comment\n")
+    assert len(prog) == 1
+
+
+def test_implicit_shift_by_one():
+    instr = parse_instruction("sall (rdi)")
+    assert instr.opcode.name == "sall"
+    assert len(instr.operands) == 1

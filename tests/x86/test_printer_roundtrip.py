@@ -1,0 +1,60 @@
+"""Printer/parser round-trip property tests."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.config import SearchConfig
+from repro.search.moves import MoveGenerator
+from repro.x86.parser import parse_instruction, parse_program
+from repro.x86.printer import format_instruction, format_program
+from repro.x86.program import Program
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=60, deadline=None)
+def test_random_instruction_roundtrip(seed):
+    rng = random.Random(seed)
+    config = SearchConfig(ell=4)
+    target = parse_program("movq -8(rsp), rax\naddq 7, rax")
+    moves = MoveGenerator(target, config, rng)
+    instr = moves.random_instruction()
+    if instr is None:
+        return
+    text = format_instruction(instr)
+    reparsed = parse_instruction(text)
+    assert reparsed == instr, text
+
+
+@given(st.integers(0, 100_000))
+@settings(max_examples=30, deadline=None)
+def test_random_program_roundtrip(seed):
+    rng = random.Random(seed)
+    config = SearchConfig(ell=8)
+    target = parse_program("movq -8(rsp), rax\naddq 7, rax")
+    moves = MoveGenerator(target, config, rng)
+    prog = moves.random_program()
+    text = format_program(prog)
+    reparsed = parse_program(text)
+    assert [str(i) for i in reparsed.code] == \
+        [str(i) for i in prog.compact().code]
+
+
+def test_paper_listing_roundtrip():
+    from repro.suite.kernels import MONT_STOKE_LISTING
+    prog = parse_program(MONT_STOKE_LISTING)
+    assert parse_program(format_program(prog)).code == prog.code
+
+
+def test_labels_printed_in_place():
+    prog = parse_program("""
+        jae .L1
+        movq rdi, rax
+        .L1
+        addq 1, rax
+    """)
+    text = format_program(prog)
+    lines = [line.strip() for line in text.splitlines()]
+    assert lines.index(".L1") == 2
+    assert parse_program(text).labels == prog.labels

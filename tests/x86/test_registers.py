@@ -1,0 +1,57 @@
+"""Register file model tests."""
+
+import pytest
+
+from repro.x86.registers import (FLAG_NAMES, GPR8, GPR16, GPR32, GPR64,
+                                 REGISTERS, RegClass, XMM, gprs_of_width,
+                                 lookup, registers_of_width, view)
+
+
+def test_sixteen_gprs_at_every_width():
+    for width, pool in ((64, GPR64), (32, GPR32), (16, GPR16), (8, GPR8)):
+        assert len(pool) == 16
+        assert all(r.width == width for r in pool)
+
+
+def test_sixteen_xmm_registers():
+    assert len(XMM) == 16
+    assert all(r.width == 128 for r in XMM)
+    assert all(r.reg_class is RegClass.XMM for r in XMM)
+
+
+def test_view_aliasing():
+    assert view("rax", 32).name == "eax"
+    assert view("rax", 16).name == "ax"
+    assert view("rax", 8).name == "al"
+    assert view("r8", 32).name == "r8d"
+    assert view("r8", 16).name == "r8w"
+    assert view("r8", 8).name == "r8b"
+
+
+def test_every_view_points_to_its_full_register():
+    for reg in REGISTERS.values():
+        full = lookup(reg.full)
+        assert full.is_full
+        assert full.width in (64, 128)
+
+
+def test_lookup_rejects_unknown_names():
+    with pytest.raises(KeyError):
+        lookup("r16")
+    with pytest.raises(KeyError):
+        lookup("ah")       # high-byte registers are not modeled
+
+
+def test_five_flags():
+    assert set(FLAG_NAMES) == {"CF", "ZF", "SF", "OF", "PF"}
+
+
+def test_registers_of_width_128_is_xmm():
+    assert registers_of_width(128) == XMM
+    assert gprs_of_width(32) == GPR32
+
+
+def test_masks_and_byte_widths():
+    assert lookup("eax").mask == 0xFFFFFFFF
+    assert lookup("al").byte_width == 1
+    assert lookup("xmm3").byte_width == 16

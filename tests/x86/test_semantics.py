@@ -1,0 +1,174 @@
+"""Concrete instruction semantics, including the paper's key idioms."""
+
+import pytest
+
+from repro.emulator.cpu import Emulator
+from repro.emulator.sandbox import Sandbox
+from repro.emulator.state import MachineState
+from repro.x86.parser import parse_program
+
+M64 = (1 << 64) - 1
+
+
+def run(text: str, **regs) -> MachineState:
+    state = MachineState()
+    state.set_reg("rsp", 0x7FFF0000)
+    for name, value in regs.items():
+        state.set_reg(name, value)
+    Emulator(state, Sandbox.recorder()).run(parse_program(text))
+    return state
+
+
+def test_mov_edx_edx_zeroes_upper_half():
+    """The Figure 1 idiom: a 32-bit self-move clears bits 63..32."""
+    state = run("mov edx, edx", rdx=0xDEADBEEF_12345678)
+    assert state.get_reg("rdx") == 0x12345678
+
+
+def test_sub_register_writes_merge():
+    state = run("movb 0xAB, al", rax=0x1111111111111111)
+    assert state.get_reg("rax") == 0x11111111111111AB
+    state = run("movw 0xCDEF, ax", rax=0x1111111111111111)
+    assert state.get_reg("rax") == 0x111111111111CDEF
+
+
+def test_add_sets_carry():
+    state = run("addq rsi, rax\nadcq 0, rdx",
+                rax=M64, rsi=1, rdx=5)
+    assert state.get_reg("rax") == 0
+    assert state.get_reg("rdx") == 6          # carry consumed by adc
+
+
+def test_sub_borrow_chain():
+    state = run("subq rsi, rax\nsbbq 0, rdx",
+                rax=0, rsi=1, rdx=10)
+    assert state.get_reg("rax") == M64
+    assert state.get_reg("rdx") == 9
+
+
+def test_widening_mul():
+    state = run("mulq rsi", rax=1 << 63, rsi=4)
+    assert state.get_reg("rax") == 0
+    assert state.get_reg("rdx") == 2
+
+
+def test_imul_two_operand_truncates():
+    state = run("imulq rsi, rax", rax=1 << 62, rsi=8)
+    assert state.get_reg("rax") == 0
+
+
+def test_div_quotient_remainder():
+    state = run("divq rsi", rdx=0, rax=100, rsi=7)
+    assert state.get_reg("rax") == 14
+    assert state.get_reg("rdx") == 2
+
+
+def test_div_by_zero_counts_sigfpe():
+    state = run("divq rsi", rdx=0, rax=100, rsi=0)
+    assert state.events.sigfpe == 1
+    assert state.get_reg("rax") == 100         # effects skipped
+
+
+def test_shl_shifts_into_carry():
+    state = run("shlq 1, rax\nadcq 0, rdx", rax=1 << 63, rdx=0)
+    assert state.get_reg("rax") == 0
+    assert state.get_reg("rdx") == 1
+
+
+def test_shift_by_cl():
+    state = run("shrq cl, rax", rax=0x100, rcx=4)
+    assert state.get_reg("rax") == 0x10
+
+
+def test_sar_sign_fills():
+    state = run("sarl 31, eax", eax=0x80000000)
+    assert state.get_reg("eax") == 0xFFFFFFFF
+
+
+def test_rotate():
+    state = run("rolq 8, rax", rax=0xFF00000000000000)
+    assert state.get_reg("rax") == 0xFF
+    state = run("rorq 8, rax", rax=0xFF)
+    assert state.get_reg("rax") == 0xFF00000000000000
+
+
+def test_xor_zero_idiom_defines_without_reading():
+    state = MachineState()                     # rbx never defined
+    Emulator(state, Sandbox.recorder()).run(
+        parse_program("xorq rbx, rbx"))
+    assert state.get_reg("rbx") == 0
+    assert state.events.undef == 0
+
+
+def test_setcc_and_cmov():
+    state = run("cmpl esi, edi\nsete al\ncmovel esi, edx",
+                edi=5, esi=5, edx=1, rax=0)
+    assert state.get_reg("al") == 1
+    assert state.get_reg("edx") == 5
+
+
+def test_conditional_jump_taken_and_not_taken():
+    text = """
+        cmpq rsi, rdi
+        jae .L1
+        movq 111, rax
+        .L1
+    """
+    assert run(text, rdi=5, rsi=9, rax=0).get_reg("rax") == 111
+    assert run(text, rdi=9, rsi=5, rax=0).get_reg("rax") == 0
+
+
+def test_popcnt():
+    state = run("popcntq rsi, rax", rsi=0xFF00FF00)
+    assert state.get_reg("rax") == 16
+
+
+def test_tzcnt_lzcnt():
+    assert run("tzcntq rsi, rax", rsi=0x100).get_reg("rax") == 8
+    assert run("tzcntq rsi, rax", rsi=0).get_reg("rax") == 64
+    assert run("lzcntq rsi, rax", rsi=1).get_reg("rax") == 63
+    assert run("lzcntl esi, eax", esi=0).get_reg("eax") == 32
+
+
+def test_lea_with_scale_and_disp():
+    state = run("leaq 5(rsi,rcx,4), rax", rsi=100, rcx=3)
+    assert state.get_reg("rax") == 117
+
+
+def test_movzx_movsx():
+    assert run("movzbl sil, eax", rsi=0xFF).get_reg("eax") == 0xFF
+    assert run("movsbl sil, eax", rsi=0xFF).get_reg("eax") == 0xFFFFFFFF
+    assert run("movslq esi, rax",
+               rsi=0x80000000).get_reg("rax") == 0xFFFFFFFF80000000
+
+
+def test_cltq_cqto():
+    assert run("cltq", eax=0x80000000).get_reg("rax") == \
+        0xFFFFFFFF80000000
+    assert run("cqto", rax=1 << 63).get_reg("rdx") == M64
+
+
+def test_push_pop():
+    state = run("pushq rsi\npopq rdx", rsi=0x1234, rdx=0)
+    assert state.get_reg("rdx") == 0x1234
+    assert state.get_reg("rsp") == 0x7FFF0000
+
+
+def test_neg_flags():
+    state = run("negq rax\nsbbq 0, rdx", rax=1, rdx=10)
+    assert state.get_reg("rax") == M64
+    assert state.get_reg("rdx") == 9          # CF set because rax != 0
+
+
+def test_sse_broadcast_multiply_add():
+    state = run("""
+        movd edi, xmm0
+        pshufd 0, xmm0, xmm0
+        pmulld xmm1, xmm0
+    """, edi=3)
+    state2 = MachineState()
+    # direct check of the broadcast result
+    state3 = run("movd edi, xmm0\npshufd 0, xmm0, xmm0", edi=7)
+    xmm0 = state3.regs["xmm0"]
+    assert xmm0 == int.from_bytes(
+        (7).to_bytes(4, "little") * 4, "little")
