@@ -1,0 +1,50 @@
+"""Engine scaling: wall-clock speedup of multi-process campaigns.
+
+The paper dispatched chains across hundreds of cores; this bench
+measures the reproduction's version of that claim. The same campaign
+(many independent optimization chains on p01) runs with one worker and
+with one worker per core, asserting the results are bit-identical and
+reporting the wall-clock ratio. Chain counts are laptop-sized by
+default; REPRO_BUDGET=medium/full scales them up.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine.campaign import Campaign, EngineOptions
+from repro.search.config import SearchConfig
+from repro.suite.registry import benchmark as get_benchmark
+from repro.suite.runner import budget_scale
+from repro.verifier.validator import Validator
+
+
+def _config() -> SearchConfig:
+    return SearchConfig(ell=12, beta=1.0, seed=9,
+                        optimization_proposals=int(8_000 * budget_scale()),
+                        optimization_restarts=4,
+                        optimization_chains=8,
+                        synthesis_chains=0,
+                        testcase_count=8)
+
+
+def _run_campaign(jobs: int):
+    bench = get_benchmark("p01")
+    campaign = Campaign(bench.o0, bench.spec, bench.annotations,
+                        config=_config(), validator=Validator(),
+                        options=EngineOptions(jobs=jobs))
+    return campaign.run()
+
+
+def test_engine_scaling(benchmark):
+    workers = max(2, min(8, os.cpu_count() or 2))
+    serial = _run_campaign(1)
+    pooled = benchmark.pedantic(_run_campaign, args=(workers,),
+                                rounds=1, iterations=1)
+    assert [(str(r.program), r.cost, r.cycles) for r in serial.ranked] \
+        == [(str(r.program), r.cost, r.cycles) for r in pooled.ranked]
+    speedup = serial.seconds / pooled.seconds if pooled.seconds else 1.0
+    print(f"\n[engine] {len(serial.optimization)} chains: "
+          f"1 worker {serial.seconds:.2f}s, {workers} workers "
+          f"{pooled.seconds:.2f}s ({speedup:.2f}x wall-clock)")
+    assert pooled.rewrite is not None

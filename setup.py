@@ -1,3 +1,23 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-stoke",
+    version="1.1.0",
+    description=("Reproduction of 'Stochastic Superoptimization' "
+                 "(Schkufza, Sharma, Aiken; ASPLOS 2013) with a "
+                 "parallel, resumable search engine"),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Software Development :: Compilers",
+    ],
+)

@@ -22,6 +22,7 @@ Quickstart::
 
 from repro.cost import CostFunction, CostWeights, Phase
 from repro.emulator import Emulator, MachineState, Sandbox, run_program
+from repro.engine import Campaign, EngineOptions
 from repro.perfsim import actual_runtime, simulate_cycles
 from repro.search import (MCMCSampler, MoveGenerator, SearchConfig, Stoke,
                           StokeResult)
@@ -30,10 +31,11 @@ from repro.verifier import LiveSpec, ValidationResult, Validator
 from repro.x86 import (Instruction, Program, UNUSED, parse_instruction,
                        parse_program, program_latency)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "Annotations", "CostFunction", "CostWeights", "Emulator",
+    "Annotations", "Campaign", "CostFunction", "CostWeights", "Emulator",
+    "EngineOptions",
     "Instruction", "LiveSpec", "MCMCSampler", "MachineState",
     "MoveGenerator", "Phase", "Program", "Sandbox", "SearchConfig",
     "Stoke", "StokeResult", "Testcase", "TestcaseGenerator", "UNUSED",

@@ -4,16 +4,22 @@ Usage::
 
     python -m repro.cli list                      # show the suite
     python -m repro.cli show mont                 # print a kernel's codegens
-    python -m repro.cli optimize p01 --proposals 40000
+    python -m repro.cli optimize p01 --proposals 40000 --jobs 4
     python -m repro.cli validate p01              # prove gcc == o0
     python -m repro.cli speedups p01 p03 p06      # Figure 10 rows
+    python -m repro.cli engine campaign --jobs 8 --run-dir runs/sweep
+
+(Installed as the ``repro`` console script.)
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
+from repro.engine.campaign import EngineOptions
+from repro.errors import ReproError
 from repro.perfsim.model import actual_runtime
 from repro.search.config import SearchConfig
 from repro.search.stoke import Stoke
@@ -48,6 +54,11 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_options(args: argparse.Namespace) -> EngineOptions:
+    return EngineOptions(jobs=args.jobs, run_dir=args.run_dir,
+                         resume=args.resume)
+
+
 def _cmd_optimize(args: argparse.Namespace) -> int:
     bench = benchmark(args.kernel)
     config = SearchConfig(
@@ -56,15 +67,21 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         seed=args.seed,
         optimization_proposals=args.proposals,
         optimization_restarts=args.restarts,
+        optimization_chains=args.chains,
         synthesis_chains=1 if args.synthesis else 0,
         synthesis_proposals=args.proposals,
         testcase_count=args.testcases,
     )
-    stoke = Stoke(bench.o0, bench.spec, bench.annotations, config=config)
+    stoke = Stoke(bench.o0, bench.spec, bench.annotations, config=config,
+                  engine=_engine_options(args))
     result = stoke.run()
     if result.rewrite is None:
-        print("no verified rewrite found; raise --proposals")
-        return 1
+        # the target is documented as an always-valid answer, so an
+        # unimproved search is a report, not a failure
+        print(f"no rewrite beat the target; keeping it "
+              f"({result.target_cycles} modeled cycles, "
+              f"{result.seconds:.1f}s)")
+        return 0
     print(f"verified rewrite ({result.rewrite.instruction_count} "
           f"instructions, {result.speedup:.2f}x modeled speedup, "
           f"{result.seconds:.1f}s):")
@@ -87,6 +104,35 @@ def _cmd_speedups(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engine_campaign(args: argparse.Namespace) -> int:
+    """Sweep the suite as one resumable, parallel campaign."""
+    from repro.engine.checkpoint import CheckpointStore
+    if args.resume and not args.run_dir:
+        print("--resume requires --run-dir", file=sys.stderr)
+        return 2
+    names = args.kernels or [b.name for b in all_benchmarks()]
+    base_dir = Path(args.run_dir) if args.run_dir else None
+    rows = []
+    for index, name in enumerate(names):
+        bench = benchmark(name)
+        run_dir = None if base_dir is None else base_dir / name
+        # a sweep interrupted mid-kernel leaves later kernels with no
+        # journal yet; resume what exists, start the rest fresh
+        resume = (args.resume and run_dir is not None and
+                  CheckpointStore(run_dir).has_manifest())
+        options = EngineOptions(jobs=args.jobs, run_dir=run_dir,
+                                resume=resume)
+        outcome = evaluate_benchmark(bench, seed=args.seed + index,
+                                     synthesis=args.synthesis,
+                                     engine=options)
+        rows.append(outcome)
+        print(outcome.row(), flush=True)
+    improved = sum(1 for row in rows if row.stoke_speedup > 1.0)
+    print(f"campaign done: {improved}/{len(rows)} kernels improved "
+          f"(jobs={args.jobs})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -104,11 +150,14 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("kernel")
     optimize.add_argument("--proposals", type=int, default=40_000)
     optimize.add_argument("--restarts", type=int, default=10)
+    optimize.add_argument("--chains", type=int, default=1,
+                          help="independent optimization chains")
     optimize.add_argument("--beta", type=float, default=1.0)
     optimize.add_argument("--seed", type=int, default=0)
     optimize.add_argument("--testcases", type=int, default=16)
     optimize.add_argument("--synthesis", action="store_true",
                           help="also run the synthesis phase")
+    _add_engine_arguments(optimize)
     optimize.set_defaults(fn=_cmd_optimize)
 
     validate = sub.add_parser("validate",
@@ -119,7 +168,30 @@ def build_parser() -> argparse.ArgumentParser:
     speedups = sub.add_parser("speedups", help="Figure 10 rows")
     speedups.add_argument("kernels", nargs="+")
     speedups.set_defaults(fn=_cmd_speedups)
+
+    engine = sub.add_parser("engine",
+                            help="parallel, resumable search campaigns")
+    engine_sub = engine.add_subparsers(dest="engine_command",
+                                       required=True)
+    campaign = engine_sub.add_parser(
+        "campaign", help="sweep kernels as one checkpointed campaign")
+    campaign.add_argument("kernels", nargs="*",
+                          help="kernels to sweep (default: whole suite)")
+    campaign.add_argument("--seed", type=int, default=17)
+    campaign.add_argument("--synthesis", action="store_true",
+                          help="also run the synthesis phase")
+    _add_engine_arguments(campaign)
+    campaign.set_defaults(fn=_cmd_engine_campaign)
     return parser
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = in-process)")
+    parser.add_argument("--run-dir", default=None,
+                        help="checkpoint directory for this run")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume a journaled run from --run-dir")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -128,6 +200,9 @@ def main(argv: list[str] | None = None) -> int:
         return args.fn(args)
     except BrokenPipeError:      # e.g. `repro list | head`
         return 0
+    except ReproError as exc:    # bad flags, mismatched resume, ...
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

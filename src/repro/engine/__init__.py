@@ -1,0 +1,26 @@
+"""Parallel search engine: multi-process chain orchestration.
+
+Decomposes a search into independent chain jobs (scheduler), runs them
+serially or across a process pool (executor/worker), journals completed
+jobs for checkpoint/resume (checkpoint), and merges chain outputs into
+one deterministic verdict (aggregator). :class:`Campaign` ties the
+pieces together; ``Stoke.run()`` sits on top of it.
+"""
+
+from repro.engine.aggregator import (dedup_programs, final_ranking,
+                                     merge_testcases, synthesis_starts)
+from repro.engine.campaign import Campaign, EngineOptions
+from repro.engine.checkpoint import CheckpointStore
+from repro.engine.executor import (ProcessPoolExecutor, SerialExecutor,
+                                   make_executor)
+from repro.engine.jobs import (ChainJob, JobResult, OPTIMIZATION,
+                               SYNTHESIS)
+from repro.engine.scheduler import optimization_jobs, synthesis_jobs
+from repro.engine.worker import CampaignContext, run_chain_job
+
+__all__ = ["Campaign", "CampaignContext", "ChainJob", "CheckpointStore",
+           "EngineOptions", "JobResult", "OPTIMIZATION",
+           "ProcessPoolExecutor", "SYNTHESIS", "SerialExecutor",
+           "dedup_programs", "final_ranking", "make_executor",
+           "merge_testcases", "optimization_jobs", "run_chain_job",
+           "synthesis_jobs", "synthesis_starts"]

@@ -1,0 +1,85 @@
+"""Result aggregation: merge chain outputs into one verdict.
+
+Aggregation is pure and order-insensitive to *completion* order — it
+only looks at results arranged in plan order — so a campaign produces
+the same aggregate whether its chains ran serially, across a pool, or
+partly out of a resume journal.
+
+The final candidate costs are recomputed here on the campaign-wide
+merged testcase suite (base testcases plus every counterexample any
+chain discovered), mirroring the serial pipeline, which re-scored its
+survivors on the refined suite before re-ranking.
+"""
+
+from __future__ import annotations
+
+from repro.cost.function import CostFunction, Phase
+from repro.engine.jobs import JobResult
+from repro.engine.serialize import program_key
+from repro.search.config import SearchConfig
+from repro.search.ranker import RankedRewrite, rerank
+from repro.testgen.testcase import Testcase
+from repro.x86.program import Program
+
+
+def dedup_programs(programs: list[Program]) -> list[Program]:
+    """Drop later duplicates; two programs with equal compacted code
+    (and labels) count as the same candidate."""
+    seen: set[str] = set()
+    unique: list[Program] = []
+    for program in programs:
+        key = program_key(program)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(program)
+    return unique
+
+
+def merge_testcases(base: list[Testcase],
+                    results: list[JobResult]) -> list[Testcase]:
+    """Base suite plus deduped counterexamples, in plan order."""
+    merged = list(base)
+    seen = set(base)
+    for result in results:
+        for testcase in result.new_testcases:
+            if testcase in seen:
+                continue
+            seen.add(testcase)
+            merged.append(testcase)
+    return merged
+
+
+def synthesis_starts(target: Program,
+                     results: list[JobResult]) -> list[Program]:
+    """Optimization starting points: the target plus every distinct
+    synthesized equivalent, in plan order."""
+    verified = [program for result in results
+                for program in result.verified]
+    return dedup_programs([target] + verified)
+
+
+def final_ranking(target: Program, config: SearchConfig,
+                  testcases: list[Testcase],
+                  results: list[JobResult]) -> list[RankedRewrite]:
+    """Score the verified pool on the merged suite and re-rank.
+
+    The target is always admitted as a candidate, so the campaign can
+    never rank worse than the program it was given.
+    """
+    cost_fn = CostFunction(list(testcases), target,
+                           phase=Phase.OPTIMIZATION,
+                           weights=config.weights,
+                           improved=config.improved_cost)
+    pool = dedup_programs([program for result in results
+                           for program in result.verified])
+    candidates = [(_cost(cost_fn, program), program)
+                  for program in pool]
+    candidates.append((_cost(cost_fn, target), target))
+    return rerank(candidates, window=config.rank_window)
+
+
+def _cost(cost_fn: CostFunction, program: Program) -> int:
+    result = cost_fn.evaluate(program)
+    assert result.value is not None
+    return result.value

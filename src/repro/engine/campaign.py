@@ -1,0 +1,185 @@
+"""Campaign orchestration: waves of chains, checkpointed, aggregated.
+
+A campaign runs the Figure 9 pipeline as two waves of independent jobs:
+
+1. every synthesis chain (the verified survivors, plus the target,
+   become the optimization starting points), then
+2. every optimization chain over every start.
+
+Each completed job is journaled before the next result is awaited, so
+an interrupted campaign resumed with the same run directory re-runs
+only the missing chains — and, because jobs are independent and results
+are aggregated in plan order, finishes with results identical to an
+uninterrupted run at any worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine import aggregator, scheduler, serialize, worker
+from repro.engine.checkpoint import CheckpointStore
+from repro.engine.executor import Executor, make_executor
+from repro.engine.jobs import ChainJob, JobResult, result_from_json
+from repro.engine.serialize import Json
+from repro.engine.worker import CampaignContext
+from repro.errors import EngineError
+from repro.perfsim.model import actual_runtime
+from repro.search.config import SearchConfig
+from repro.search.stoke import StokeResult
+from repro.testgen.annotations import Annotations
+from repro.testgen.generator import TestcaseGenerator
+from repro.testgen.testcase import Testcase
+from repro.verifier.validator import LiveSpec, Validator
+from repro.x86.program import Program
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """How to execute a campaign.
+
+    Attributes:
+        jobs: worker processes (1 = run in this process).
+        run_dir: checkpoint directory; None disables checkpointing.
+        resume: continue a journaled campaign instead of starting
+            fresh (requires ``run_dir``).
+    """
+
+    jobs: int = 1
+    run_dir: str | Path | None = None
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise EngineError("jobs must be at least 1")
+        if self.resume and self.run_dir is None:
+            raise EngineError("--resume requires a run directory")
+
+
+class Campaign:
+    """One orchestrated, resumable search campaign."""
+
+    def __init__(self, target: Program, spec: LiveSpec,
+                 annotations: Annotations, *, config: SearchConfig,
+                 validator: Validator | None,
+                 options: EngineOptions | None = None) -> None:
+        self.target = target
+        self.spec = spec
+        self.annotations = annotations
+        self.config = config
+        self.validator = validator
+        self.options = options or EngineOptions()
+
+    def run(self) -> StokeResult:
+        """Execute (or finish) the campaign and aggregate the result."""
+        start_time = time.perf_counter()
+        store = (CheckpointStore(self.options.run_dir)
+                 if self.options.run_dir is not None else None)
+        testcases, completed = self._initial_state(store)
+        context = CampaignContext(
+            target=self.target, spec=self.spec,
+            annotations=self.annotations, config=self.config,
+            testcases=testcases, validator=self.validator)
+        executor = make_executor(context, self.options.jobs)
+        try:
+            synth_start = time.perf_counter()
+            synth_plan = scheduler.synthesis_jobs(self.config)
+            synth_results = self._run_wave(executor, synth_plan,
+                                           completed, store)
+            synthesis_seconds = time.perf_counter() - synth_start
+
+            starts = aggregator.synthesis_starts(self.target,
+                                                 synth_results)
+            opt_start = time.perf_counter()
+            opt_plan = scheduler.optimization_jobs(self.config, starts)
+            opt_results = self._run_wave(executor, opt_plan,
+                                         completed, store)
+            optimization_seconds = time.perf_counter() - opt_start
+        except BaseException:
+            # don't block an error or Ctrl-C on queued chains; the
+            # journal already holds everything worth keeping
+            executor.terminate()
+            raise
+        else:
+            executor.close()
+
+        merged = aggregator.merge_testcases(
+            testcases, synth_results + opt_results)
+        ranked = aggregator.final_ranking(self.target, self.config,
+                                          merged, opt_results)
+        target_cycles = actual_runtime(self.target.compact())
+        rewrite: Program | None = None
+        rewrite_cycles = target_cycles
+        if ranked:
+            best = ranked[0]
+            if best.cycles <= target_cycles:
+                rewrite = best.program.compact()
+                rewrite_cycles = best.cycles
+        return StokeResult(
+            target=self.target,
+            rewrite=rewrite,
+            verified=rewrite is not None,
+            target_cycles=target_cycles,
+            rewrite_cycles=rewrite_cycles,
+            ranked=ranked,
+            synthesis=[r.phase_result() for r in synth_results],
+            optimization=[r.phase_result() for r in opt_results],
+            testcases=merged,
+            seconds=time.perf_counter() - start_time,
+            synthesis_seconds=synthesis_seconds,
+            optimization_seconds=optimization_seconds,
+        )
+
+    # -- run state ------------------------------------------------------------
+
+    def _fingerprint(self) -> Json:
+        return {
+            "target": serialize.program_to_json(self.target),
+            "spec": serialize.spec_to_json(self.spec),
+            "annotations": serialize.annotations_to_json(
+                self.annotations),
+            "config": serialize.config_to_json(self.config),
+        }
+
+    def _initial_state(self, store: CheckpointStore | None) \
+            -> tuple[list[Testcase], dict[str, Json]]:
+        """Base testcases and already-completed job payloads.
+
+        A resumed campaign takes its testcases from the manifest (they
+        were random-generated; regeneration is deterministic, but the
+        manifest is the ground truth the journaled jobs actually saw).
+        """
+        if self.options.resume:
+            assert store is not None
+            manifest = store.load_manifest(self._fingerprint())
+            testcases = [serialize.testcase_from_json(tc)
+                         for tc in manifest["testcases"]]
+            return testcases, store.completed()
+        generator = TestcaseGenerator(self.target, self.spec,
+                                      self.annotations,
+                                      seed=self.config.seed)
+        testcases = generator.generate(self.config.testcase_count)
+        if store is not None:
+            manifest = self._fingerprint()
+            manifest["testcases"] = [serialize.testcase_to_json(tc)
+                                     for tc in testcases]
+            store.start_fresh(manifest)
+        return testcases, {}
+
+    @staticmethod
+    def _run_wave(executor: Executor, plan: list[ChainJob],
+                  completed: dict[str, Json],
+                  store: CheckpointStore | None) -> list[JobResult]:
+        """Run a wave's pending jobs; return results in plan order."""
+        pending = [job for job in plan if job.job_id not in completed]
+        for payload in executor.run(pending):
+            completed[payload["job_id"]] = payload
+            if store is not None:
+                store.record(payload)
+        missing = [job.job_id for job in plan
+                   if job.job_id not in completed]
+        if missing:
+            raise EngineError(f"executor lost jobs: {missing}")
+        return [result_from_json(completed[job.job_id]) for job in plan]

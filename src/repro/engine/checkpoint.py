@@ -1,0 +1,112 @@
+"""Checkpoint store: a run directory that survives interrupts.
+
+Layout::
+
+    <run_dir>/manifest.json   campaign fingerprint + frozen testcases
+    <run_dir>/jobs.jsonl      one line per completed job result
+
+The manifest freezes everything job results depend on — target, spec,
+annotations, config, and the generated base testcases — so a resumed
+campaign provably replays the same search, and resuming against a
+different campaign is rejected instead of silently mixing results. The
+journal is append-only and flushed per record; a half-written final
+line (the interrupt case) is discarded on load and that job re-runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.engine.serialize import Json, require_fields
+from repro.errors import EngineError
+
+MANIFEST_VERSION = 1
+
+_FINGERPRINT_FIELDS = ("target", "spec", "annotations", "config")
+
+
+class CheckpointStore:
+    """Journal of completed jobs under one run directory."""
+
+    def __init__(self, run_dir: str | Path) -> None:
+        self.run_dir = Path(run_dir)
+        self.manifest_path = self.run_dir / "manifest.json"
+        self.journal_path = self.run_dir / "jobs.jsonl"
+
+    def has_manifest(self) -> bool:
+        return self.manifest_path.exists()
+
+    def start_fresh(self, manifest: Json) -> None:
+        """Initialize the run directory, discarding any prior state."""
+        require_fields(manifest, _FINGERPRINT_FIELDS + ("testcases",),
+                       "manifest")
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        payload = dict(manifest)
+        payload["version"] = MANIFEST_VERSION
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, self.manifest_path)
+        self.journal_path.write_text("")
+
+    def load_manifest(self, expected_fingerprint: Json) -> Json:
+        """Load and cross-check the manifest against this campaign.
+
+        Args:
+            expected_fingerprint: the current campaign's target, spec,
+                annotations, and config, serialized; any divergence
+                from the stored run aborts the resume.
+        """
+        if not self.has_manifest():
+            raise EngineError(
+                f"no campaign to resume under {self.run_dir}")
+        manifest = json.loads(self.manifest_path.read_text())
+        require_fields(manifest, _FINGERPRINT_FIELDS + ("testcases",),
+                       "manifest")
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise EngineError(
+                f"manifest version {manifest.get('version')!r} is not "
+                f"{MANIFEST_VERSION}; cannot resume")
+        for name in _FINGERPRINT_FIELDS:
+            if manifest[name] != expected_fingerprint[name]:
+                raise EngineError(
+                    f"cannot resume: stored campaign differs in {name} "
+                    f"(run directory {self.run_dir})")
+        return manifest
+
+    def record(self, payload: Json) -> None:
+        """Append one completed job result, durably."""
+        line = json.dumps(payload, sort_keys=True)
+        with self.journal_path.open("a") as journal:
+            journal.write(line + "\n")
+            journal.flush()
+            os.fsync(journal.fileno())
+
+    def completed(self) -> dict[str, Json]:
+        """All journaled results, keyed by job id.
+
+        A torn trailing line is dropped; a torn line anywhere else
+        means the journal was edited by hand and is an error.
+        """
+        if not self.journal_path.exists():
+            return {}
+        lines = self.journal_path.read_text().splitlines()
+        results: dict[str, Json] = {}
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    break           # interrupted mid-append
+                raise EngineError(
+                    f"corrupt journal line {index + 1} in "
+                    f"{self.journal_path}")
+            if "job_id" not in payload:
+                raise EngineError(
+                    f"journal record without job_id in "
+                    f"{self.journal_path}")
+            results[payload["job_id"]] = payload
+        return results

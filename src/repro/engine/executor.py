@@ -1,0 +1,119 @@
+"""Job executors: same-process for tests and ``jobs=1``, a
+``multiprocessing`` pool otherwise.
+
+Both executors consume :class:`ChainJob` lists and yield plain-JSON
+result payloads *as jobs complete* (the pool yields in completion
+order), so the campaign can journal each result the moment it exists.
+Payloads are identical regardless of executor — workers build them with
+the same code — which is what makes worker counts invisible in the
+final aggregate.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from typing import Iterable, Iterator
+
+from repro.engine import worker
+from repro.engine.jobs import ChainJob, job_from_json, job_to_json
+from repro.engine.serialize import Json
+from repro.engine.worker import CampaignContext
+from repro.errors import EngineError
+
+
+class SerialExecutor:
+    """Runs every job in the calling process, in plan order."""
+
+    def __init__(self, context: CampaignContext) -> None:
+        self.context = context
+
+    def run(self, jobs: Iterable[ChainJob]) -> Iterator[Json]:
+        for job in jobs:
+            yield worker.run_chain_job(self.context, job)
+
+    def close(self) -> None:
+        pass
+
+    def terminate(self) -> None:
+        pass
+
+
+# Per-process campaign context, installed once by the pool initializer
+# so the (identical) context is not re-shipped with every job.
+_PROCESS_CONTEXT: CampaignContext | None = None
+
+
+def _init_process(context_json: Json) -> None:
+    global _PROCESS_CONTEXT
+    _PROCESS_CONTEXT = worker.context_from_json(context_json)
+
+
+def _run_job_in_process(job_json: Json) -> Json:
+    assert _PROCESS_CONTEXT is not None, "pool initializer did not run"
+    return worker.run_chain_job(_PROCESS_CONTEXT, job_from_json(job_json))
+
+
+class ProcessPoolExecutor:
+    """Fans jobs out across a ``multiprocessing`` pool.
+
+    Jobs and results cross the process boundary as plain-JSON payloads;
+    the context is installed once per worker process by the pool
+    initializer. The pool is created lazily so planning errors surface
+    before any process is forked.
+    """
+
+    def __init__(self, context: CampaignContext, jobs: int) -> None:
+        if jobs < 2:
+            raise EngineError("ProcessPoolExecutor needs jobs >= 2")
+        self.context = context
+        self.jobs = jobs
+        self._pool: multiprocessing.pool.Pool | None = None
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            # fork is the fast path but is unsafe on macOS (the reason
+            # CPython switched its default there to spawn in 3.8)
+            methods = multiprocessing.get_all_start_methods()
+            method = ("fork" if "fork" in methods and
+                      sys.platform != "darwin" else "spawn")
+            ctx = multiprocessing.get_context(method)
+            self._pool = ctx.Pool(
+                processes=self.jobs,
+                initializer=_init_process,
+                initargs=(worker.context_to_json(self.context),))
+        return self._pool
+
+    def run(self, jobs: Iterable[ChainJob]) -> Iterator[Json]:
+        encoded = [job_to_json(job) for job in jobs]
+        if not encoded:
+            return
+        pool = self._ensure_pool()
+        yield from pool.imap_unordered(_run_job_in_process, encoded)
+
+    def close(self) -> None:
+        """Graceful shutdown: lets in-flight jobs finish."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Abandon in-flight jobs (error/interrupt shutdown); anything
+        already journaled survives for a later --resume."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+Executor = SerialExecutor | ProcessPoolExecutor
+
+
+def make_executor(context: CampaignContext, jobs: int) -> Executor:
+    """The right executor for a worker count (``jobs=1`` is serial)."""
+    if jobs < 1:
+        raise EngineError("jobs must be at least 1")
+    if jobs == 1:
+        return SerialExecutor(context)
+    return ProcessPoolExecutor(context, jobs)

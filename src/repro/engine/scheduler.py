@@ -1,0 +1,42 @@
+"""Campaign planning: decompose a SearchConfig into independent jobs.
+
+The decomposition mirrors the serial pipeline exactly — synthesis
+chains first, then one optimization chain per (chain index, starting
+program) pair — including the per-job seed scheme, so a campaign with
+any worker count retraces the same chains the one-process pipeline
+would run. Job ids are stable functions of the plan position, which is
+what lets a resumed campaign skip exactly the chains it already ran.
+"""
+
+from __future__ import annotations
+
+from repro.engine.jobs import ChainJob, OPTIMIZATION, SYNTHESIS
+from repro.search.config import SearchConfig
+from repro.x86.program import Program
+
+SYNTHESIS_SEED_BASE = 1000
+OPTIMIZATION_SEED_BASE = 2000
+OPTIMIZATION_CHAIN_STRIDE = 97
+
+
+def synthesis_jobs(config: SearchConfig) -> list[ChainJob]:
+    """Plan the synthesis wave: one job per configured chain."""
+    return [
+        ChainJob(job_id=f"synth-{chain:03d}", kind=SYNTHESIS,
+                 seed=config.seed + SYNTHESIS_SEED_BASE + chain)
+        for chain in range(config.synthesis_chains)
+    ]
+
+
+def optimization_jobs(config: SearchConfig,
+                      starts: list[Program]) -> list[ChainJob]:
+    """Plan the optimization wave: chains x starting programs."""
+    plan: list[ChainJob] = []
+    for chain in range(config.optimization_chains):
+        for index, start in enumerate(starts):
+            seed = (config.seed + OPTIMIZATION_SEED_BASE +
+                    OPTIMIZATION_CHAIN_STRIDE * chain + index)
+            plan.append(ChainJob(
+                job_id=f"opt-c{chain:03d}-s{index:03d}",
+                kind=OPTIMIZATION, seed=seed, start=start))
+    return plan

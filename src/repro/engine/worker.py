@@ -1,0 +1,109 @@
+"""Chain-job execution: what runs inside each worker.
+
+A worker rebuilds the search machinery from a :class:`CampaignContext`
+and runs one phase over one chain. Every job gets its *own* cost
+function seeded from the campaign's base testcase suite, so
+counterexample refinement stays job-local and results depend only on
+(context, job) — never on which process ran the job or in what order.
+That independence is what makes ``jobs=N`` bit-identical to ``jobs=1``
+and lets the aggregator replay journaled results on resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.function import CostFunction, Phase
+from repro.engine import serialize
+from repro.engine.jobs import ChainJob, JobResult, SYNTHESIS, result_to_json
+from repro.engine.serialize import Json
+from repro.errors import EngineError
+from repro.search.config import SearchConfig
+from repro.search.phases import OptimizationPhase, SynthesisPhase
+from repro.testgen.annotations import Annotations
+from repro.testgen.generator import TestcaseGenerator
+from repro.testgen.testcase import Testcase
+from repro.verifier.validator import LiveSpec, Validator
+from repro.x86.program import Program
+
+
+@dataclass
+class CampaignContext:
+    """Everything a worker needs, shared by all jobs of a campaign.
+
+    The ``validator`` instance is used directly by the same-process
+    executor; the process-pool executor reconstructs an equivalent
+    ``Validator`` from its parameters on the far side, so a campaign
+    that relies on a custom Validator subclass must run with
+    ``jobs=1``.
+    """
+
+    target: Program
+    spec: LiveSpec
+    annotations: Annotations
+    config: SearchConfig
+    testcases: list[Testcase]
+    validator: Validator | None
+
+
+def context_to_json(context: CampaignContext) -> Json:
+    validator = context.validator
+    return {
+        "target": serialize.program_to_json(context.target),
+        "spec": serialize.spec_to_json(context.spec),
+        "annotations": serialize.annotations_to_json(context.annotations),
+        "config": serialize.config_to_json(context.config),
+        "testcases": [serialize.testcase_to_json(tc)
+                      for tc in context.testcases],
+        "validator": (None if validator is None else
+                      {"uf_width": validator.uf_width,
+                       "max_conflicts": validator.max_conflicts}),
+    }
+
+
+def context_from_json(data: Json) -> CampaignContext:
+    params = data["validator"]
+    return CampaignContext(
+        target=serialize.program_from_json(data["target"]),
+        spec=serialize.spec_from_json(data["spec"]),
+        annotations=serialize.annotations_from_json(data["annotations"]),
+        config=serialize.config_from_json(data["config"]),
+        testcases=[serialize.testcase_from_json(tc)
+                   for tc in data["testcases"]],
+        validator=None if params is None else Validator(**params),
+    )
+
+
+def run_chain_job(context: CampaignContext, job: ChainJob) -> Json:
+    """Run one chain and return its plain-JSON result payload."""
+    config = context.config
+    generator = TestcaseGenerator(context.target, context.spec,
+                                  context.annotations, seed=config.seed)
+    suite = list(context.testcases)
+    base_count = len(suite)
+    synthesis = job.kind == SYNTHESIS
+    cost_fn = CostFunction(
+        suite, context.target,
+        phase=Phase.SYNTHESIS if synthesis else Phase.OPTIMIZATION,
+        weights=config.weights, improved=config.improved_cost)
+    if synthesis:
+        phase = SynthesisPhase(context.target, context.spec, cost_fn,
+                               generator, context.validator, config)
+        outcome = phase.run(seed=job.seed)
+    else:
+        if job.start is None:
+            raise EngineError(f"optimization job {job.job_id} "
+                              "has no starting program")
+        phase = OptimizationPhase(context.target, context.spec, cost_fn,
+                                  generator, context.validator, config)
+        outcome = phase.run(job.start, seed=job.seed)
+    result = JobResult(
+        job_id=job.job_id,
+        kind=job.kind,
+        verified=list(outcome.verified),
+        candidates=list(outcome.candidates),
+        chain=outcome.chain,
+        validations=outcome.validations,
+        new_testcases=cost_fn.testcases[base_count:],
+    )
+    return result_to_json(result)

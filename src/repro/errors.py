@@ -69,3 +69,7 @@ class CompileError(ReproError):
 
 class SearchError(ReproError):
     """Raised for invalid search configurations."""
+
+
+class EngineError(ReproError):
+    """Raised for invalid campaign configurations or corrupt run state."""

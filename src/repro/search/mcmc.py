@@ -24,7 +24,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.cost.function import CostFunction
-from repro.search.moves import MoveGenerator, MoveKind
+from repro.search.moves import MoveGenerator
 from repro.x86.program import Program
 
 

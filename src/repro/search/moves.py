@@ -48,6 +48,19 @@ class MoveKind(Enum):
     INSTRUCTION = "instruction"
 
 
+def _ordered_kinds(sl: Slot) -> list[OperandKind]:
+    """The slot's samplable kinds in a canonical order.
+
+    ``Slot.kinds`` is a frozenset whose iteration order follows enum
+    identity hashes and therefore varies between interpreter launches;
+    sampling from it directly would make proposal streams — and with
+    them whole campaigns — irreproducible across processes.
+    """
+    kinds = [k for k in sl.kinds if k is not OperandKind.LABEL]
+    kinds.sort(key=lambda k: k.value)
+    return kinds
+
+
 def _operand_type_key(operands: tuple[Operand, ...],
                       signature: tuple[Slot, ...]) -> tuple:
     """The equivalence-class key: number and types of operands."""
@@ -216,7 +229,7 @@ class MoveGenerator:
         memory operand — the single-move path that connects O0-style
         stack traffic to register code (Figure 4's dense region).
         """
-        kinds = [k for k in sl.kinds if k is not OperandKind.LABEL]
+        kinds = _ordered_kinds(sl)
         if not allow_mem or not self.mem_pool:
             kinds = [k for k in kinds if k is not OperandKind.MEM]
         if not kinds:
@@ -269,7 +282,7 @@ class MoveGenerator:
         operands: list[Operand] = []
         used_mem = False
         for sl in sig:
-            kinds = [k for k in sl.kinds if k is not OperandKind.LABEL]
+            kinds = _ordered_kinds(sl)
             if used_mem or not self.mem_pool:
                 kinds = [k for k in kinds if k is not OperandKind.MEM]
             if not kinds:

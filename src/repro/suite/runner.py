@@ -10,6 +10,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro.engine.campaign import EngineOptions
 from repro.perfsim.model import actual_runtime
 from repro.search.config import SearchConfig
 from repro.search.stoke import Stoke, StokeResult
@@ -75,21 +76,25 @@ class BenchmarkOutcome:
 
 
 def run_stoke(bench: Benchmark, *, seed: int = 0,
-              synthesis: bool = False) -> StokeResult:
+              synthesis: bool = False,
+              engine: EngineOptions | None = None) -> StokeResult:
     """Run the full pipeline on one benchmark's O0 target."""
     config = search_config(bench, seed=seed, synthesis=synthesis)
     stoke = Stoke(bench.o0, bench.spec, bench.annotations, config=config,
-                  validator=Validator())
+                  validator=Validator(), engine=engine)
     return stoke.run()
 
 
 def evaluate_benchmark(bench: Benchmark, *, seed: int = 0,
-                       synthesis: bool = False) -> BenchmarkOutcome:
+                       synthesis: bool = False,
+                       engine: EngineOptions | None = None) \
+        -> BenchmarkOutcome:
     """Measure the Figure 10 column for one kernel."""
     o0_cycles = actual_runtime(bench.o0.compact())
     gcc_cycles = actual_runtime(bench.gcc.compact())
     icc_cycles = actual_runtime(bench.icc.compact())
-    result = run_stoke(bench, seed=seed, synthesis=synthesis)
+    result = run_stoke(bench, seed=seed, synthesis=synthesis,
+                       engine=engine)
     stoke_cycles = result.rewrite_cycles
     return BenchmarkOutcome(
         name=bench.name,

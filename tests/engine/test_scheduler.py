@@ -1,0 +1,42 @@
+"""Scheduler tests: plans must be deterministic and mirror the serial
+pipeline's seeding scheme."""
+
+from repro.engine import scheduler
+from repro.engine.jobs import OPTIMIZATION, SYNTHESIS
+from repro.search.config import SearchConfig
+from repro.x86.parser import parse_program
+
+
+def test_synthesis_plan_seeds_and_ids():
+    config = SearchConfig(seed=7, synthesis_chains=3)
+    plan = scheduler.synthesis_jobs(config)
+    assert [job.job_id for job in plan] == \
+        ["synth-000", "synth-001", "synth-002"]
+    assert [job.seed for job in plan] == [1007, 1008, 1009]
+    assert all(job.kind == SYNTHESIS and job.start is None
+               for job in plan)
+
+
+def test_optimization_plan_covers_chains_times_starts():
+    config = SearchConfig(seed=0, optimization_chains=2)
+    starts = [parse_program("movq rdi, rax"),
+              parse_program("movq rsi, rax")]
+    plan = scheduler.optimization_jobs(config, starts)
+    assert len(plan) == 4
+    assert [job.job_id for job in plan] == \
+        ["opt-c000-s000", "opt-c000-s001",
+         "opt-c001-s000", "opt-c001-s001"]
+    # the serial pipeline's scheme: seed + 2000 + 97 * chain + index
+    assert [job.seed for job in plan] == [2000, 2001, 2097, 2098]
+    assert [job.start for job in plan] == starts * 2
+    assert all(job.kind == OPTIMIZATION for job in plan)
+
+
+def test_plans_are_reproducible():
+    config = SearchConfig(seed=11, synthesis_chains=2,
+                          optimization_chains=3)
+    starts = [parse_program("movq rdi, rax")]
+    assert scheduler.synthesis_jobs(config) == \
+        scheduler.synthesis_jobs(config)
+    assert scheduler.optimization_jobs(config, starts) == \
+        scheduler.optimization_jobs(config, starts)
