@@ -11,7 +11,7 @@ the cmov version is far cheaper than the literal translation.
 Run:  python examples/hackers_delight_p21.py
 """
 
-from repro import (SearchConfig, Stoke, Validator, actual_runtime,
+from repro import (SearchConfig, Stoke, actual_runtime,
                    parse_program, program_latency)
 from repro.suite import benchmark
 

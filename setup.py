@@ -2,10 +2,11 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-stoke",
-    version="1.1.0",
+    version="1.2.0",
     description=("Reproduction of 'Stochastic Superoptimization' "
                  "(Schkufza, Sharma, Aiken; ASPLOS 2013) with a "
-                 "parallel, resumable search engine"),
+                 "parallel, resumable search engine and a composable "
+                 "pipeline API"),
     author="paper-repo-growth",
     license="MIT",
     package_dir={"": "src"},

@@ -7,7 +7,16 @@ the paper's cost functions and move types, a micro-op performance
 model, a mini compiler standing in for llvm -O0 / gcc -O3 / icc -O3,
 and the paper's full benchmark suite.
 
-Quickstart::
+Quickstart (the composable API; see :mod:`repro.api`)::
+
+    from repro.api import Session, Target
+
+    session = Session(Target.from_suite("p01"),
+                      cost="correctness,latency", strategy="mcmc")
+    result = session.run()
+    print(result.rewrite_asm, result.speedup)
+
+The legacy facade remains and is bit-identical at defaults::
 
     from repro import Stoke, SearchConfig
     from repro.suite import benchmark
@@ -20,25 +29,35 @@ Quickstart::
     print(result.rewrite, result.speedup)
 """
 
-from repro.cost import CostFunction, CostWeights, Phase
+from repro.api import Result, Session, Target
+from repro.cost import (CostFunction, CostSpec, CostTerm, CostWeights,
+                        Phase, TermContext, available_cost_terms,
+                        make_cost_term, register_cost_term)
 from repro.emulator import Emulator, MachineState, Sandbox, run_program
 from repro.engine import Campaign, EngineOptions
 from repro.perfsim import actual_runtime, simulate_cycles
-from repro.search import (MCMCSampler, MoveGenerator, SearchConfig, Stoke,
-                          StokeResult)
+from repro.search import (MCMCSampler, MoveGenerator, SearchConfig,
+                          SearchStrategy, Stoke, StokeResult,
+                          StrategySpec, available_strategies,
+                          make_strategy, register_strategy)
 from repro.testgen import Annotations, Testcase, TestcaseGenerator
 from repro.verifier import LiveSpec, ValidationResult, Validator
 from repro.x86 import (Instruction, Program, UNUSED, parse_instruction,
                        parse_program, program_latency)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
-    "Annotations", "Campaign", "CostFunction", "CostWeights", "Emulator",
-    "EngineOptions",
+    "Annotations", "Campaign", "CostFunction", "CostSpec", "CostTerm",
+    "CostWeights", "Emulator", "EngineOptions",
     "Instruction", "LiveSpec", "MCMCSampler", "MachineState",
-    "MoveGenerator", "Phase", "Program", "Sandbox", "SearchConfig",
-    "Stoke", "StokeResult", "Testcase", "TestcaseGenerator", "UNUSED",
-    "ValidationResult", "Validator", "actual_runtime", "parse_instruction",
-    "parse_program", "program_latency", "run_program", "simulate_cycles",
+    "MoveGenerator", "Phase", "Program", "Result", "Sandbox",
+    "SearchConfig", "SearchStrategy", "Session",
+    "Stoke", "StokeResult", "StrategySpec", "Target", "TermContext",
+    "Testcase", "TestcaseGenerator", "UNUSED",
+    "ValidationResult", "Validator", "actual_runtime",
+    "available_cost_terms", "available_strategies", "make_cost_term",
+    "make_strategy", "parse_instruction", "parse_program",
+    "program_latency", "register_cost_term", "register_strategy",
+    "run_program", "simulate_cycles",
 ]

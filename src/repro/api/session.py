@@ -1,0 +1,127 @@
+"""Sessions: assemble a pipeline from named parts and run it.
+
+A :class:`Session` is the composable front door to the Figure 9
+pipeline: pick a :class:`~repro.api.targets.Target`, a cost function
+(by :class:`~repro.cost.terms.CostSpec` or flag string), a search
+strategy (by :class:`~repro.search.strategies.StrategySpec` or name),
+a :class:`~repro.search.config.SearchConfig`, and optionally a
+validator and engine options — then :meth:`Session.run` executes the
+campaign and returns a JSON-serializable :class:`Result`.
+
+The legacy ``Stoke`` facade is a thin shim over this class with every
+choice left at its default, so both surfaces produce bit-identical
+results for the same configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api.targets import Target
+from repro.cost.terms import CostSpec
+from repro.engine.campaign import Campaign, EngineOptions
+from repro.search.config import SearchConfig
+from repro.search.stoke import StokeResult
+from repro.search.strategies import StrategySpec
+from repro.verifier.validator import Validator
+from repro.x86.printer import format_program
+
+
+@dataclass
+class Result:
+    """Everything a session run produced, in reportable form.
+
+    Plain data throughout — ``to_json()`` emits a dict that survives
+    ``json.dumps`` unchanged. The full :class:`StokeResult` (programs,
+    per-chain diagnostics, refined testcases) stays available on
+    ``stoke`` for programmatic use.
+    """
+
+    name: str
+    verified: bool
+    target_asm: str
+    rewrite_asm: str | None
+    target_cycles: int
+    rewrite_cycles: int
+    speedup: float
+    seconds: float
+    cost: str
+    strategy: str
+    stoke: StokeResult = field(repr=False)
+
+    @property
+    def improved(self) -> bool:
+        return self.rewrite_asm is not None
+
+    def to_json(self) -> dict[str, Any]:
+        """A plain-JSON report (everything but the program objects)."""
+        return {
+            "name": self.name,
+            "verified": self.verified,
+            "target_asm": self.target_asm,
+            "rewrite_asm": self.rewrite_asm,
+            "target_cycles": self.target_cycles,
+            "rewrite_cycles": self.rewrite_cycles,
+            "speedup": round(self.speedup, 4),
+            "seconds": round(self.seconds, 3),
+            "cost": self.cost,
+            "strategy": self.strategy,
+        }
+
+
+_DEFAULT_VALIDATOR = object()
+
+
+class Session:
+    """One assembled pipeline run over one target.
+
+    Args:
+        target: what to optimize (see :class:`Target` constructors).
+        config: MCMC/search tunables; defaults to the paper's table.
+        cost: cost function spec — a :class:`CostSpec`, a flag string
+            like ``"correctness,latency:2"``, or None for the paper's
+            eq + perf.
+        strategy: search strategy — a :class:`StrategySpec`, a registry
+            name like ``"greedy"``, or None for the paper's MCMC.
+        validator: sound validator for candidate promotion; defaults to
+            a fresh :class:`Validator`, pass None to skip validation.
+        engine: worker count and checkpoint options.
+    """
+
+    def __init__(self, target: Target, *,
+                 config: SearchConfig | None = None,
+                 cost: CostSpec | str | None = None,
+                 strategy: StrategySpec | str | None = None,
+                 validator: Validator | None | object = _DEFAULT_VALIDATOR,
+                 engine: EngineOptions | None = None) -> None:
+        self.target = target
+        self.config = config or SearchConfig()
+        self.cost = CostSpec.parse(cost)
+        self.strategy = StrategySpec.parse(strategy)
+        if validator is _DEFAULT_VALIDATOR:
+            validator = Validator()
+        self.validator = validator
+        self.engine = engine
+
+    def run(self) -> Result:
+        """Execute the campaign and wrap its outcome."""
+        campaign = Campaign(
+            self.target.program, self.target.spec, self.target.annotations,
+            config=self.config, validator=self.validator,
+            options=self.engine, cost=self.cost, strategy=self.strategy)
+        outcome = campaign.run()
+        return Result(
+            name=self.target.name,
+            verified=outcome.verified,
+            target_asm=format_program(outcome.target.compact()),
+            rewrite_asm=(None if outcome.rewrite is None
+                         else format_program(outcome.rewrite)),
+            target_cycles=outcome.target_cycles,
+            rewrite_cycles=outcome.rewrite_cycles,
+            speedup=outcome.speedup,
+            seconds=outcome.seconds,
+            cost=self.cost.spec_string(),
+            strategy=self.strategy.spec_string(),
+            stoke=outcome,
+        )

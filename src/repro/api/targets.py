@@ -1,0 +1,122 @@
+"""Targets: what a session optimizes, however it was obtained.
+
+A :class:`Target` pairs a loop-free program with the live-in/live-out
+spec the paper's equality judgment is defined over (Section 2), plus
+optional testcase-generation annotations (Section 5.1). Constructors
+cover every way a target enters the pipeline:
+
+* :meth:`Target.from_suite` — a kernel from the built-in benchmark
+  registry (``p01``..``p25``, ``mont``, ``saxpy``, ``list``);
+* :meth:`Target.from_listing` / :meth:`Target.from_file` — an assembly
+  listing in the paper's dialect, with explicit live-in/live-out;
+* :meth:`Target.from_function` — a mini-C function compiled with the
+  built-in llvm -O0 style code generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.testgen.annotations import Annotations
+from repro.verifier.validator import LiveSpec
+from repro.x86.parser import parse_program
+from repro.x86.program import Program
+from repro.x86.registers import is_register_name
+
+if TYPE_CHECKING:
+    from repro.cc.ast import Function
+
+
+def parse_registers(value: str | Iterable[str], what: str) \
+        -> tuple[str, ...]:
+    """Normalize ``"rdi,rsi"`` or an iterable into validated names."""
+    if isinstance(value, str):
+        names = [name.strip() for name in value.split(",")]
+        names = [name for name in names if name]
+    else:
+        names = list(value)
+    for name in names:
+        if not is_register_name(name):
+            raise ReproError(
+                f"{what}: {name!r} is not a register name "
+                "(use views like rdi, esi, ax, bl)")
+    return tuple(names)
+
+
+@dataclass(frozen=True)
+class Target:
+    """One optimization target: program + live spec + annotations.
+
+    Attributes:
+        program: the loop-free code sequence to optimize.
+        spec: live inputs and outputs defining equality.
+        annotations: input-generation hints for the testcase generator.
+        name: a label for reports and journals.
+    """
+
+    program: Program
+    spec: LiveSpec
+    annotations: Annotations = field(default_factory=Annotations)
+    name: str = "target"
+
+    @classmethod
+    def from_suite(cls, name: str) -> Target:
+        """A benchmark kernel by registry name (e.g. ``"p01"``)."""
+        from repro.suite.registry import benchmark
+        bench = benchmark(name)
+        return cls(program=bench.o0, spec=bench.spec,
+                   annotations=bench.annotations, name=bench.name)
+
+    @classmethod
+    def from_listing(cls, text: str, *,
+                     live_in: str | Iterable[str],
+                     live_out: str | Iterable[str],
+                     annotations: Annotations | None = None,
+                     name: str = "listing") -> Target:
+        """An assembly listing with an explicit live-in/live-out spec."""
+        program = parse_program(text)
+        outputs = parse_registers(live_out, "live-out")
+        if not outputs:
+            # equality over zero outputs holds vacuously — any program
+            # (all nops included) would "verify" against the target
+            raise ReproError("live-out must name at least one register")
+        spec = LiveSpec(live_in=parse_registers(live_in, "live-in"),
+                        live_out=outputs)
+        return cls(program=program, spec=spec,
+                   annotations=annotations or Annotations(), name=name)
+
+    @classmethod
+    def from_file(cls, path: str | Path, *,
+                  live_in: str | Iterable[str],
+                  live_out: str | Iterable[str],
+                  annotations: Annotations | None = None) -> Target:
+        """A ``.s`` listing read from disk (the ``optimize-file`` path)."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ReproError(f"cannot read {path}: {exc}") from None
+        return cls.from_listing(text, live_in=live_in, live_out=live_out,
+                                annotations=annotations, name=path.stem)
+
+    @classmethod
+    def from_function(cls, fn: Function, *,
+                      live_out: str | Iterable[str] = ("eax",),
+                      annotations: Annotations | None = None,
+                      name: str | None = None) -> Target:
+        """A mini-C function compiled llvm -O0 style.
+
+        Live-ins are the function's parameter registers; the default
+        live-out is the conventional ``eax`` return register.
+        """
+        from repro.cc.codegen_o0 import compile_o0
+        program = compile_o0(fn)
+        live_in = tuple(param.reg for param in fn.params)
+        spec = LiveSpec(live_in=live_in,
+                        live_out=parse_registers(live_out, "live-out"))
+        return cls(program=program, spec=spec,
+                   annotations=annotations or Annotations(),
+                   name=name or fn.name)

@@ -11,7 +11,7 @@ well-defined wraparound (the kernels only rely on defined behavior).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 

@@ -73,7 +73,6 @@ class _O0Emitter:
         for out_reg, temp in self.ir.output_temps.items():
             width = self.ir.temp_widths[temp]
             self.emit(f"mov{_SFX[width]} {self.slot(temp)}, {out_reg}")
-        text = "\n".join(self.lines)
         return Program(tuple(parse_instruction(line)
                              for line in self.lines))
 

@@ -7,7 +7,7 @@ benchmark reference semantics in the test suite.
 from __future__ import annotations
 
 from repro.cc.ast import (Assign, Bin, BinOp, Cast, Const, Expr, Function,
-                          Load, Select, Stmt, Store, Un, UnOp, Var)
+                          Load, Select, Store, Un, UnOp, Var)
 from repro.errors import CompileError
 from repro.x86.algebra import mask, to_signed
 

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from repro.cc.ast import (Assign, Bin, BinOp, Cast, Const, Expr, Function,
-                          Load, Select, Stmt, Store, Un, UnOp, Var)
+                          Load, Select, Stmt, Store, Un, Var)
 from repro.cc.ir import (IRBinary, IRCast, IRCompare, IRConst, IRFunction,
-                         IRInstr, IRLoad, IRMove, IRMulWide, IRSelect,
+                         IRInstr, IRLoad, IRMulWide, IRSelect,
                          IRStore, IRUnary)
 from repro.errors import CompileError
 

@@ -5,6 +5,10 @@ Usage::
     python -m repro.cli list                      # show the suite
     python -m repro.cli show mont                 # print a kernel's codegens
     python -m repro.cli optimize p01 --proposals 40000 --jobs 4
+    python -m repro.cli optimize p01 --cost correctness,latency:2 \\
+        --strategy anneal
+    python -m repro.cli optimize-file kernel.s --live-in rdi,rsi \\
+        --live-out rax
     python -m repro.cli validate p01              # prove gcc == o0
     python -m repro.cli speedups p01 p03 p06      # Figure 10 rows
     python -m repro.cli engine campaign --jobs 8 --run-dir runs/sweep
@@ -15,18 +19,32 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro.api.session import Result, Session
+from repro.api.targets import Target
+from repro.cost.terms import available_cost_terms
 from repro.engine.campaign import EngineOptions
 from repro.errors import ReproError
 from repro.perfsim.model import actual_runtime
 from repro.search.config import SearchConfig
-from repro.search.stoke import Stoke
+from repro.search.strategies import available_strategies
 from repro.suite.registry import all_benchmarks, benchmark
 from repro.suite.runner import evaluate_benchmark
 from repro.verifier.validator import Validator
 from repro.x86.latency import program_latency
+
+
+def _package_version() -> str:
+    """The installed distribution version, or the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+        return version("repro-stoke")
+    except PackageNotFoundError:
+        import repro
+        return repro.__version__
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -59,10 +77,10 @@ def _engine_options(args: argparse.Namespace) -> EngineOptions:
                          resume=args.resume)
 
 
-def _cmd_optimize(args: argparse.Namespace) -> int:
-    bench = benchmark(args.kernel)
-    config = SearchConfig(
-        ell=min(50, max(8, len(bench.o0) + 4)),
+def _search_config(args: argparse.Namespace,
+                   target_length: int) -> SearchConfig:
+    return SearchConfig(
+        ell=min(50, max(8, target_length + 4)),
         beta=args.beta,
         seed=args.seed,
         optimization_proposals=args.proposals,
@@ -72,21 +90,46 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         synthesis_proposals=args.proposals,
         testcase_count=args.testcases,
     )
-    stoke = Stoke(bench.o0, bench.spec, bench.annotations, config=config,
-                  engine=_engine_options(args))
-    result = stoke.run()
-    if result.rewrite is None:
+
+
+def _report(result: Result, as_json: bool) -> int:
+    if as_json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        return 0
+    if result.rewrite_asm is None:
         # the target is documented as an always-valid answer, so an
         # unimproved search is a report, not a failure
         print(f"no rewrite beat the target; keeping it "
               f"({result.target_cycles} modeled cycles, "
               f"{result.seconds:.1f}s)")
         return 0
-    print(f"verified rewrite ({result.rewrite.instruction_count} "
+    rewrite = result.stoke.rewrite
+    assert rewrite is not None
+    print(f"verified rewrite ({rewrite.instruction_count} "
           f"instructions, {result.speedup:.2f}x modeled speedup, "
           f"{result.seconds:.1f}s):")
-    print(result.rewrite)
+    print(result.rewrite_asm)
     return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    target = Target.from_suite(args.kernel)
+    session = Session(target,
+                      config=_search_config(args, len(target.program)),
+                      cost=args.cost, strategy=args.strategy,
+                      engine=_engine_options(args))
+    return _report(session.run(), args.json)
+
+
+def _cmd_optimize_file(args: argparse.Namespace) -> int:
+    """Optimize a ``.s`` listing from outside the built-in suite."""
+    target = Target.from_file(args.path, live_in=args.live_in,
+                              live_out=args.live_out)
+    session = Session(target,
+                      config=_search_config(args, len(target.program)),
+                      cost=args.cost, strategy=args.strategy,
+                      engine=_engine_options(args))
+    return _report(session.run(), args.json)
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -137,6 +180,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list suite kernels") \
@@ -148,17 +193,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     optimize = sub.add_parser("optimize", help="run the STOKE pipeline")
     optimize.add_argument("kernel")
-    optimize.add_argument("--proposals", type=int, default=40_000)
-    optimize.add_argument("--restarts", type=int, default=10)
-    optimize.add_argument("--chains", type=int, default=1,
-                          help="independent optimization chains")
-    optimize.add_argument("--beta", type=float, default=1.0)
-    optimize.add_argument("--seed", type=int, default=0)
-    optimize.add_argument("--testcases", type=int, default=16)
-    optimize.add_argument("--synthesis", action="store_true",
-                          help="also run the synthesis phase")
+    _add_search_arguments(optimize)
     _add_engine_arguments(optimize)
     optimize.set_defaults(fn=_cmd_optimize)
+
+    optimize_file = sub.add_parser(
+        "optimize-file",
+        help="optimize a .s listing with an explicit live spec")
+    optimize_file.add_argument("path", help="assembly listing to read")
+    optimize_file.add_argument(
+        "--live-in", required=True,
+        help="comma-separated input registers, e.g. rdi,rsi")
+    optimize_file.add_argument(
+        "--live-out", required=True,
+        help="comma-separated output registers, e.g. rax")
+    _add_search_arguments(optimize_file)
+    _add_engine_arguments(optimize_file)
+    optimize_file.set_defaults(fn=_cmd_optimize_file)
 
     validate = sub.add_parser("validate",
                               help="prove gcc -O3 equals llvm -O0")
@@ -185,6 +236,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--proposals", type=int, default=40_000)
+    parser.add_argument("--restarts", type=int, default=10)
+    parser.add_argument("--chains", type=int, default=1,
+                        help="independent optimization chains")
+    parser.add_argument("--beta", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--testcases", type=int, default=16)
+    parser.add_argument("--synthesis", action="store_true",
+                        help="also run the synthesis phase")
+    parser.add_argument(
+        "--cost", default=None, metavar="SPEC",
+        help="cost terms with optional weights, e.g. "
+             "correctness,latency:2 "
+             f"(available: {', '.join(available_cost_terms())})")
+    parser.add_argument(
+        "--strategy", default=None,
+        help="search strategy "
+             f"(available: {', '.join(available_strategies())})")
+    parser.add_argument("--json", action="store_true",
+                        help="print the result as JSON")
+
+
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (1 = in-process)")
@@ -200,7 +274,7 @@ def main(argv: list[str] | None = None) -> int:
         return args.fn(args)
     except BrokenPipeError:      # e.g. `repro list | head`
         return 0
-    except ReproError as exc:    # bad flags, mismatched resume, ...
+    except ReproError as exc:    # bad flags, unknown names, ...
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -1,10 +1,14 @@
-"""The full cost function c(R; T) = eq(R; T) + perf(R; T) (Eq. 2).
+"""The full cost function c(R; T) (Eq. 2), as a weighted sum of terms.
 
-Supports both search phases (Section 4.4):
+The paper's c = eq + perf is the default instance of a more general
+shape: a weighted sum of registered :class:`~repro.cost.terms.CostTerm`
+objects. Static terms (latency, size, modeled cycles) are charged once
+per candidate; per-testcase terms (correctness) accumulate inside the
+testcase loop. Both search phases of Section 4.4 are supported:
 
-* synthesis mode ignores the performance term entirely;
-* optimization mode adds the latency difference, allowing temporary
-  correctness violations while exploring shortcuts.
+* synthesis mode ignores the static terms entirely;
+* optimization mode adds them, allowing temporary correctness
+  violations while exploring shortcuts.
 
 The evaluator supports bounded evaluation for the optimized acceptance
 computation of Section 4.5: evaluation stops as soon as the running
@@ -13,14 +17,16 @@ cost exceeds the precomputed acceptance bound (Eq. 14).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from enum import Enum
+from typing import Sequence
 
-from repro.cost.correctness import CostWeights, testcase_cost
-from repro.cost.performance import perf_term
+from repro.cost.correctness import CostWeights
+from repro.cost.terms import CostTerm, DEFAULT_COST_TERMS, CostSpec, TermContext
 from repro.emulator.cpu import Emulator
+from repro.errors import SearchError
 from repro.testgen.testcase import Testcase
-from repro.x86.latency import program_latency
 from repro.x86.program import Program
 
 
@@ -38,7 +44,8 @@ class CostResult:
     Attributes:
         value: the total cost, or None if evaluation terminated early
             because the bound was exceeded.
-        eq_term: the correctness part (valid when value is not None).
+        eq_term: the per-testcase part (valid when value is not None);
+            zero means the candidate passed every testcase.
         testcases_evaluated: how many testcases ran before stopping —
             the quantity plotted in Figure 5.
     """
@@ -59,22 +66,46 @@ class CostResult:
 class CostFunction:
     """Evaluates c(R; T) over a testcase suite.
 
-    The testcase list may grow during search (counterexamples from the
-    validator are appended), which — as the paper notes — changes the
-    search landscape; that is intended.
+    The testcase list is copied on construction — counterexamples
+    appended during search (which, as the paper notes, change the
+    search landscape; that is intended) never mutate the caller's
+    suite. ``terms`` takes (weight, unbound term) pairs, normally from
+    :meth:`CostSpec.instantiate`; the default reproduces the paper's
+    c = eq + perf exactly. Terms are bound to this function's target
+    here, so instances must not be shared between cost functions.
     """
 
-    def __init__(self, testcases: list[Testcase], target: Program, *,
+    def __init__(self, testcases: Sequence[Testcase], target: Program, *,
                  phase: Phase = Phase.SYNTHESIS,
                  weights: CostWeights | None = None,
                  improved: bool = True,
-                 max_steps: int = 10_000) -> None:
-        self.testcases = testcases
+                 max_steps: int = 10_000,
+                 terms: Sequence[tuple[float, CostTerm]] | None = None) \
+            -> None:
+        self.testcases = list(testcases)
         self.weights = weights or CostWeights()
         self.improved = improved
         self.phase = phase
-        self.target_latency = program_latency(target)
         self.max_steps = max_steps
+        if terms is None:
+            terms = CostSpec(DEFAULT_COST_TERMS).instantiate()
+        context = TermContext(target=target, weights=self.weights,
+                              improved=self.improved)
+        for _weight, term in terms:
+            term.bind(context)
+        self.terms = list(terms)
+        self._static_terms = [(weight, term) for weight, term in terms
+                              if not term.per_testcase]
+        self._testcase_terms = [(weight, term) for weight, term in terms
+                                if term.per_testcase]
+        if not self._testcase_terms:
+            # without a per-testcase term every candidate scores
+            # eq_term == 0, so search would promote arbitrary programs
+            # straight to the (expensive, and here unrefinable)
+            # validator on every proposal
+            raise SearchError(
+                "cost spec needs at least one per-testcase term "
+                "(e.g. correctness)")
 
     def add_testcase(self, testcase: Testcase) -> None:
         self.testcases.append(testcase)
@@ -90,7 +121,9 @@ class CostFunction:
         """
         total = 0
         if self.phase is Phase.OPTIMIZATION:
-            total += perf_term(rewrite, self.target_latency)
+            for weight, term in self._static_terms:
+                value = term.program_cost(rewrite)
+                total += value if weight == 1 else int(value * weight)
         evaluated = 0
         eq_term = 0
         for testcase in self.testcases:
@@ -100,10 +133,16 @@ class CostFunction:
             state = testcase.initial_state()
             emulator = Emulator(state, testcase.sandbox())
             emulator.run(rewrite, max_steps=self.max_steps)
-            term = testcase_cost(state, testcase, self.weights,
-                                 improved=self.improved)
-            total += term
-            eq_term += term
+            case_total = 0
+            for weight, term in self._testcase_terms:
+                value = term.testcase_cost(rewrite, state, testcase)
+                # ceil, not truncate: a failing testcase (value > 0)
+                # must never weight down to 0, or eq_term == 0 would
+                # stop meaning "passed every testcase"
+                case_total += value if weight == 1 \
+                    else math.ceil(value * weight)
+            total += case_total
+            eq_term += case_total
             evaluated += 1
         if bound is not None and total > bound:
             return CostResult(value=None, eq_term=eq_term,

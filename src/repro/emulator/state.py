@@ -11,7 +11,7 @@ are counted, not raised: the cost function consumes the counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.x86.registers import (FLAG_NAMES, REGISTERS, RegClass, Register,
                                  lookup)

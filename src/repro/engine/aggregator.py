@@ -14,6 +14,7 @@ survivors on the refined suite before re-ranking.
 from __future__ import annotations
 
 from repro.cost.function import CostFunction, Phase
+from repro.cost.terms import CostSpec
 from repro.engine.jobs import JobResult
 from repro.engine.serialize import program_key
 from repro.search.config import SearchConfig
@@ -61,16 +62,20 @@ def synthesis_starts(target: Program,
 
 def final_ranking(target: Program, config: SearchConfig,
                   testcases: list[Testcase],
-                  results: list[JobResult]) -> list[RankedRewrite]:
+                  results: list[JobResult], *,
+                  cost: CostSpec | None = None) -> list[RankedRewrite]:
     """Score the verified pool on the merged suite and re-rank.
 
-    The target is always admitted as a candidate, so the campaign can
-    never rank worse than the program it was given.
+    Survivors are scored with the same cost spec the chains searched
+    under. The target is always admitted as a candidate, so the
+    campaign can never rank worse than the program it was given.
     """
-    cost_fn = CostFunction(list(testcases), target,
+    spec = cost if cost is not None else CostSpec()
+    cost_fn = CostFunction(testcases, target,
                            phase=Phase.OPTIMIZATION,
                            weights=config.weights,
-                           improved=config.improved_cost)
+                           improved=config.improved_cost,
+                           terms=spec.instantiate())
     pool = dedup_programs([program for result in results
                            for program in result.verified])
     candidates = [(_cost(cost_fn, program), program)

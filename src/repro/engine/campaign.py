@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.cost.terms import CostSpec
 from repro.engine import aggregator, scheduler, serialize, worker
 from repro.engine.checkpoint import CheckpointStore
 from repro.engine.executor import Executor, make_executor
@@ -29,6 +30,7 @@ from repro.errors import EngineError
 from repro.perfsim.model import actual_runtime
 from repro.search.config import SearchConfig
 from repro.search.stoke import StokeResult
+from repro.search.strategies import StrategySpec
 from repro.testgen.annotations import Annotations
 from repro.testgen.generator import TestcaseGenerator
 from repro.testgen.testcase import Testcase
@@ -64,13 +66,17 @@ class Campaign:
     def __init__(self, target: Program, spec: LiveSpec,
                  annotations: Annotations, *, config: SearchConfig,
                  validator: Validator | None,
-                 options: EngineOptions | None = None) -> None:
+                 options: EngineOptions | None = None,
+                 cost: CostSpec | None = None,
+                 strategy: StrategySpec | None = None) -> None:
         self.target = target
         self.spec = spec
         self.annotations = annotations
         self.config = config
         self.validator = validator
         self.options = options or EngineOptions()
+        self.cost = cost if cost is not None else CostSpec()
+        self.strategy = strategy if strategy is not None else StrategySpec()
 
     def run(self) -> StokeResult:
         """Execute (or finish) the campaign and aggregate the result."""
@@ -81,7 +87,8 @@ class Campaign:
         context = CampaignContext(
             target=self.target, spec=self.spec,
             annotations=self.annotations, config=self.config,
-            testcases=testcases, validator=self.validator)
+            testcases=testcases, validator=self.validator,
+            cost=self.cost, strategy=self.strategy)
         executor = make_executor(context, self.options.jobs)
         try:
             synth_start = time.perf_counter()
@@ -108,7 +115,8 @@ class Campaign:
         merged = aggregator.merge_testcases(
             testcases, synth_results + opt_results)
         ranked = aggregator.final_ranking(self.target, self.config,
-                                          merged, opt_results)
+                                          merged, opt_results,
+                                          cost=self.cost)
         target_cycles = actual_runtime(self.target.compact())
         rewrite: Program | None = None
         rewrite_cycles = target_cycles
@@ -141,6 +149,8 @@ class Campaign:
             "annotations": serialize.annotations_to_json(
                 self.annotations),
             "config": serialize.config_to_json(self.config),
+            "cost": self.cost.spec_string(),
+            "strategy": self.strategy.spec_string(),
         }
 
     def _initial_state(self, store: CheckpointStore | None) \

@@ -22,9 +22,10 @@ from pathlib import Path
 from repro.engine.serialize import Json, require_fields
 from repro.errors import EngineError
 
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
 
-_FINGERPRINT_FIELDS = ("target", "spec", "annotations", "config")
+_FINGERPRINT_FIELDS = ("target", "spec", "annotations", "config",
+                       "cost", "strategy")
 
 
 class CheckpointStore:
@@ -62,12 +63,14 @@ class CheckpointStore:
             raise EngineError(
                 f"no campaign to resume under {self.run_dir}")
         manifest = json.loads(self.manifest_path.read_text())
-        require_fields(manifest, _FINGERPRINT_FIELDS + ("testcases",),
-                       "manifest")
+        # version first: an old-format manifest is a migration problem
+        # ("version 1 is not 2"), not a corruption problem
         if manifest.get("version") != MANIFEST_VERSION:
             raise EngineError(
                 f"manifest version {manifest.get('version')!r} is not "
                 f"{MANIFEST_VERSION}; cannot resume")
+        require_fields(manifest, _FINGERPRINT_FIELDS + ("testcases",),
+                       "manifest")
         for name in _FINGERPRINT_FIELDS:
             if manifest[name] != expected_fingerprint[name]:
                 raise EngineError(

@@ -11,15 +11,17 @@ and lets the aggregator replay journaled results on resume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cost.function import CostFunction, Phase
+from repro.cost.terms import CostSpec
 from repro.engine import serialize
 from repro.engine.jobs import ChainJob, JobResult, SYNTHESIS, result_to_json
 from repro.engine.serialize import Json
 from repro.errors import EngineError
 from repro.search.config import SearchConfig
 from repro.search.phases import OptimizationPhase, SynthesisPhase
+from repro.search.strategies import StrategySpec
 from repro.testgen.annotations import Annotations
 from repro.testgen.generator import TestcaseGenerator
 from repro.testgen.testcase import Testcase
@@ -30,6 +32,11 @@ from repro.x86.program import Program
 @dataclass
 class CampaignContext:
     """Everything a worker needs, shared by all jobs of a campaign.
+
+    The cost function and search strategy travel as *specs* — registry
+    keys, not instances — so every worker process rebuilds identical
+    machinery from the same names and ``jobs=N`` stays bit-identical
+    to ``jobs=1`` under any cost/strategy combination.
 
     The ``validator`` instance is used directly by the same-process
     executor; the process-pool executor reconstructs an equivalent
@@ -44,6 +51,8 @@ class CampaignContext:
     config: SearchConfig
     testcases: list[Testcase]
     validator: Validator | None
+    cost: CostSpec = field(default_factory=CostSpec)
+    strategy: StrategySpec = field(default_factory=StrategySpec)
 
 
 def context_to_json(context: CampaignContext) -> Json:
@@ -58,6 +67,8 @@ def context_to_json(context: CampaignContext) -> Json:
         "validator": (None if validator is None else
                       {"uf_width": validator.uf_width,
                        "max_conflicts": validator.max_conflicts}),
+        "cost": context.cost.spec_string(),
+        "strategy": context.strategy.spec_string(),
     }
 
 
@@ -71,6 +82,8 @@ def context_from_json(data: Json) -> CampaignContext:
         testcases=[serialize.testcase_from_json(tc)
                    for tc in data["testcases"]],
         validator=None if params is None else Validator(**params),
+        cost=CostSpec.parse(data["cost"]),
+        strategy=StrategySpec.parse(data["strategy"]),
     )
 
 
@@ -79,23 +92,26 @@ def run_chain_job(context: CampaignContext, job: ChainJob) -> Json:
     config = context.config
     generator = TestcaseGenerator(context.target, context.spec,
                                   context.annotations, seed=config.seed)
-    suite = list(context.testcases)
-    base_count = len(suite)
+    base_count = len(context.testcases)
     synthesis = job.kind == SYNTHESIS
     cost_fn = CostFunction(
-        suite, context.target,
+        context.testcases, context.target,
         phase=Phase.SYNTHESIS if synthesis else Phase.OPTIMIZATION,
-        weights=config.weights, improved=config.improved_cost)
+        weights=config.weights, improved=config.improved_cost,
+        terms=context.cost.instantiate())
+    strategy = context.strategy.build()
     if synthesis:
         phase = SynthesisPhase(context.target, context.spec, cost_fn,
-                               generator, context.validator, config)
+                               generator, context.validator, config,
+                               strategy=strategy)
         outcome = phase.run(seed=job.seed)
     else:
         if job.start is None:
             raise EngineError(f"optimization job {job.job_id} "
                               "has no starting program")
         phase = OptimizationPhase(context.target, context.spec, cost_fn,
-                                  generator, context.validator, config)
+                                  generator, context.validator, config,
+                                  strategy=strategy)
         outcome = phase.run(job.start, seed=job.seed)
     result = JobResult(
         job_id=job.job_id,

@@ -7,6 +7,8 @@ still being able to distinguish subsystem-specific failures.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -73,3 +75,27 @@ class SearchError(ReproError):
 
 class EngineError(ReproError):
     """Raised for invalid campaign configurations or corrupt run state."""
+
+
+class RegistryError(ReproError):
+    """Raised for unknown (or conflicting) names in a component registry.
+
+    Component registries — benchmark kernels, cost terms, search
+    strategies — raise this instead of a bare :class:`KeyError` so the
+    CLI can print the message and exit cleanly (exit code 2).
+    """
+
+
+class UnknownBenchmarkError(RegistryError):
+    """Raised when a kernel name is not in the benchmark suite."""
+
+
+def unknown_name_message(kind: str, name: str,
+                         known: Iterable[str]) -> str:
+    """A lookup-failure message with did-you-mean suggestions."""
+    import difflib
+    choices = sorted(known)
+    matches = difflib.get_close_matches(name, choices, n=3, cutoff=0.4)
+    hint = f"; did you mean {', '.join(matches)}?" if matches else ""
+    return (f"unknown {kind} {name!r}{hint} "
+            f"(known: {', '.join(choices)})")

@@ -8,9 +8,15 @@ from repro.search.phases import (OptimizationPhase, PhaseResult,
                                  SynthesisPhase)
 from repro.search.ranker import RankedRewrite, rerank
 from repro.search.stoke import Stoke, StokeResult
+from repro.search.strategies import (AnnealingStrategy, GreedyStrategy,
+                                     MCMCStrategy, SearchStrategy,
+                                     StrategySpec, available_strategies,
+                                     make_strategy, register_strategy)
 
-__all__ = ["ChainResult", "ChainStats", "DEFAULT_CONSTANT_BAG",
-           "EXCLUDED_FAMILIES", "MCMCSampler", "MoveGenerator",
-           "MoveKind", "OptimizationPhase", "PhaseResult",
-           "RankedRewrite", "SearchConfig", "Stoke", "StokeResult",
-           "SynthesisPhase", "rerank"]
+__all__ = ["AnnealingStrategy", "ChainResult", "ChainStats",
+           "DEFAULT_CONSTANT_BAG", "EXCLUDED_FAMILIES", "GreedyStrategy",
+           "MCMCSampler", "MCMCStrategy", "MoveGenerator", "MoveKind",
+           "OptimizationPhase", "PhaseResult", "RankedRewrite",
+           "SearchConfig", "SearchStrategy", "Stoke", "StokeResult",
+           "StrategySpec", "SynthesisPhase", "available_strategies",
+           "make_strategy", "register_strategy", "rerank"]

@@ -89,6 +89,15 @@ class MCMCSampler:
         if result.eq_term == 0:
             self.zero_cost.append((self.current_cost, start))
 
+    def _acceptance_bound(self, step: int, p: float) -> float:
+        """Invert the Metropolis ratio for uniform ``p`` (Eq. 14).
+
+        The maximum candidate cost this step would accept; strategy
+        variants (greedy descent, annealing schedules) override this
+        single decision point and inherit the rest of the chain.
+        """
+        return self.current_cost - math.log(max(p, 1e-300)) / self.beta
+
     def run(self, proposals: int, *,
             stop_at_zero: bool = False) -> ChainResult:
         """Run the chain for a fixed number of proposals.
@@ -106,7 +115,7 @@ class MCMCSampler:
             stats.proposals += 1
             candidate, _kind = self.moves.propose(self.current)
             p = self.rng.random()
-            bound = self.current_cost - math.log(max(p, 1e-300)) / self.beta
+            bound = self._acceptance_bound(step, p)
             result = self.cost_fn.evaluate(
                 candidate, bound=bound if self.early_termination else None)
             stats.testcases_evaluated += result.testcases_evaluated

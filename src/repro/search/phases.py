@@ -22,8 +22,9 @@ from dataclasses import dataclass, field
 
 from repro.cost.function import CostFunction, Phase
 from repro.search.config import SearchConfig
-from repro.search.mcmc import ChainResult, ChainStats, MCMCSampler
+from repro.search.mcmc import ChainResult, ChainStats
 from repro.search.moves import MoveGenerator
+from repro.search.strategies import MCMCStrategy, SearchStrategy
 from repro.testgen.generator import TestcaseGenerator
 from repro.verifier.validator import LiveSpec, Validator
 from repro.x86.program import Program
@@ -54,13 +55,15 @@ class _ValidatingPhase:
     def __init__(self, target: Program, spec: LiveSpec,
                  cost_fn: CostFunction, generator: TestcaseGenerator,
                  validator: Validator | None,
-                 config: SearchConfig) -> None:
+                 config: SearchConfig, *,
+                 strategy: SearchStrategy | None = None) -> None:
         self.target = target
         self.spec = spec
         self.cost_fn = cost_fn
         self.generator = generator
         self.validator = validator
         self.config = config
+        self.strategy = strategy if strategy is not None else MCMCStrategy()
 
     def promote(self, result: PhaseResult,
                 zero_cost: list[tuple[int, Program]]) -> None:
@@ -112,9 +115,9 @@ class SynthesisPhase(_ValidatingPhase):
         remaining = budget
         start = moves.random_program()
         while remaining > 0:
-            sampler = MCMCSampler(self.cost_fn, moves, start,
-                                  beta=self.config.beta, rng=rng)
-            chain = sampler.run(remaining, stop_at_zero=True)
+            chain = self.strategy.run_chain(
+                self.cost_fn, moves, start, config=self.config, rng=rng,
+                proposals=remaining, stop_at_zero=True)
             remaining -= chain.stats.proposals
             result.chain = _merge_chain(result.chain, chain)
             if not chain.zero_cost:
@@ -151,9 +154,9 @@ class OptimizationPhase(_ValidatingPhase):
         pool: list[tuple[int, Program]] = []
         result = PhaseResult()
         for _segment in range(segments):
-            sampler = MCMCSampler(self.cost_fn, moves, anchor,
-                                  beta=self.config.beta, rng=rng)
-            chain = sampler.run(segment_budget)
+            chain = self.strategy.run_chain(
+                self.cost_fn, moves, anchor, config=self.config, rng=rng,
+                proposals=segment_budget)
             result.chain = _merge_chain(result.chain, chain)
             pool.extend(chain.zero_cost)
             pool.sort(key=lambda pair: pair[0])

@@ -1,0 +1,204 @@
+"""Pluggable search strategies: how one chain explores rewrite space.
+
+The paper explores with Metropolis-Hastings MCMC (Section 3.2); that
+remains the default. A :class:`SearchStrategy` is the unit the phases
+of Section 4.4 delegate one chain to — given a cost function, a move
+generator, a starting program, and a proposal budget, produce a
+:class:`~repro.search.mcmc.ChainResult` — so alternatives drop in
+without touching synthesis/optimization orchestration, validation
+promotion, or the engine's job scheduling.
+
+Registered strategies:
+
+===========  ==================================================
+``mcmc``     Metropolis-Hastings at the configured beta (paper)
+``greedy``   hill climb: accept only non-worsening proposals
+``anneal``   MCMC with beta ramped hot-to-cold over the budget
+===========  ==================================================
+
+Like cost terms, strategies are resolved by name from a registry, so a
+:class:`StrategySpec` can travel through CLI flags, worker processes,
+and checkpoint manifests. Custom strategies must be registered in
+every process that runs chains (see :mod:`repro.cost.terms` for the
+spawn-vs-fork caveat).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.cost.function import CostFunction
+from repro.errors import RegistryError, unknown_name_message
+from repro.search.config import SearchConfig
+from repro.search.mcmc import ChainResult, MCMCSampler
+from repro.search.moves import MoveGenerator
+from repro.x86.program import Program
+
+
+@runtime_checkable
+class SearchStrategy(Protocol):
+    """One chain's exploration policy."""
+
+    name: str
+
+    def run_chain(self, cost_fn: CostFunction, moves: MoveGenerator,
+                  start: Program, *, config: SearchConfig,
+                  rng: random.Random, proposals: int,
+                  stop_at_zero: bool = False) -> ChainResult:
+        """Explore from ``start`` for ``proposals`` steps."""
+        ...
+
+
+class MCMCStrategy:
+    """The paper's sampler, verbatim: Metropolis-Hastings at beta."""
+
+    name = "mcmc"
+
+    def run_chain(self, cost_fn: CostFunction, moves: MoveGenerator,
+                  start: Program, *, config: SearchConfig,
+                  rng: random.Random, proposals: int,
+                  stop_at_zero: bool = False) -> ChainResult:
+        sampler = MCMCSampler(cost_fn, moves, start, beta=config.beta,
+                              rng=rng)
+        return sampler.run(proposals, stop_at_zero=stop_at_zero)
+
+
+class _GreedySampler(MCMCSampler):
+    """Accepts exactly the non-worsening proposals (beta -> infinity)."""
+
+    def _acceptance_bound(self, step: int, p: float) -> float:
+        return self.current_cost
+
+
+class GreedyStrategy:
+    """Hill climb: moves sideways or downhill, never uphill.
+
+    Converges faster than MCMC on smooth landscapes but has no escape
+    from local minima — the contrast the paper draws in Figure 7 when
+    motivating stochastic search. Useful as a cheap baseline and as
+    proof that the strategy seam carries non-Metropolis policies.
+    """
+
+    name = "greedy"
+
+    def run_chain(self, cost_fn: CostFunction, moves: MoveGenerator,
+                  start: Program, *, config: SearchConfig,
+                  rng: random.Random, proposals: int,
+                  stop_at_zero: bool = False) -> ChainResult:
+        sampler = _GreedySampler(cost_fn, moves, start, beta=config.beta,
+                                 rng=rng)
+        return sampler.run(proposals, stop_at_zero=stop_at_zero)
+
+
+class _AnnealingSampler(MCMCSampler):
+    """Linearly ramps beta from hot to cold across the run budget."""
+
+    def __init__(self, *args, hot_factor: float, cold_factor: float,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.beta_lo = self.beta * hot_factor
+        self.beta_hi = self.beta * cold_factor
+        self._horizon = 1
+
+    def run(self, proposals: int, *,
+            stop_at_zero: bool = False) -> ChainResult:
+        self._horizon = max(1, proposals - 1)
+        return super().run(proposals, stop_at_zero=stop_at_zero)
+
+    def _acceptance_bound(self, step: int, p: float) -> float:
+        frac = min(1.0, step / self._horizon)
+        beta = self.beta_lo + (self.beta_hi - self.beta_lo) * frac
+        return self.current_cost - math.log(max(p, 1e-300)) / beta
+
+
+class AnnealingStrategy:
+    """Simulated-annealing schedule over the Metropolis kernel.
+
+    Starts at ``beta / hot`` (exploratory, accepts most uphill moves)
+    and cools linearly to ``beta * cold`` (near-greedy) by the end of
+    each chain segment — a middle ground between ``mcmc`` and
+    ``greedy`` on deceptive landscapes.
+    """
+
+    name = "anneal"
+
+    def __init__(self, hot: float = 4.0, cold: float = 4.0) -> None:
+        if hot <= 0 or cold <= 0:
+            raise RegistryError("annealing factors must be positive")
+        self.hot = hot
+        self.cold = cold
+
+    def run_chain(self, cost_fn: CostFunction, moves: MoveGenerator,
+                  start: Program, *, config: SearchConfig,
+                  rng: random.Random, proposals: int,
+                  stop_at_zero: bool = False) -> ChainResult:
+        sampler = _AnnealingSampler(cost_fn, moves, start,
+                                    beta=config.beta, rng=rng,
+                                    hot_factor=1.0 / self.hot,
+                                    cold_factor=self.cold)
+        return sampler.run(proposals, stop_at_zero=stop_at_zero)
+
+
+# -- the registry -------------------------------------------------------------
+
+StrategyFactory = Callable[[], SearchStrategy]
+
+_STRATEGIES: dict[str, StrategyFactory] = {}
+
+
+def register_strategy(name: str, factory: StrategyFactory, *,
+                      replace: bool = False) -> None:
+    """Register a strategy factory under a spec key."""
+    if not replace and name in _STRATEGIES:
+        raise RegistryError(f"strategy {name!r} is already registered "
+                            "(pass replace=True to override)")
+    _STRATEGIES[name] = factory
+
+
+def make_strategy(name: str) -> SearchStrategy:
+    """Instantiate a strategy by registry key."""
+    try:
+        factory = _STRATEGIES[name]
+    except KeyError:
+        raise RegistryError(
+            unknown_name_message("strategy", name, _STRATEGIES)) from None
+    return factory()
+
+
+def available_strategies() -> list[str]:
+    return sorted(_STRATEGIES)
+
+
+register_strategy("mcmc", MCMCStrategy)
+register_strategy("greedy", GreedyStrategy)
+register_strategy("anneal", AnnealingStrategy)
+
+
+# -- the spec -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """A search strategy by name — the serializable flag/manifest form."""
+
+    name: str = "mcmc"
+
+    @classmethod
+    def parse(cls, text: str | StrategySpec | None) -> StrategySpec:
+        if text is None:
+            return cls()
+        if isinstance(text, StrategySpec):
+            return text
+        name = text.strip()
+        if name not in _STRATEGIES:
+            raise RegistryError(
+                unknown_name_message("strategy", name, _STRATEGIES))
+        return cls(name=name)
+
+    def spec_string(self) -> str:
+        return self.name
+
+    def build(self) -> SearchStrategy:
+        return make_strategy(self.name)

@@ -10,8 +10,8 @@ All kernels operate on 32-bit integers.
 
 from __future__ import annotations
 
-from repro.cc.ast import (Assign, Bin, BinOp, Cast, Const, Function,
-                          Output, Select, Un, UnOp, Var, params32)
+from repro.cc.ast import (Assign, Bin, BinOp, Const, Function,
+                          Output, Un, UnOp, Var, params32)
 
 M32 = 0xFFFFFFFF
 

@@ -16,6 +16,7 @@ from typing import Callable
 from repro.cc.ast import Function
 from repro.cc.codegen_o0 import compile_o0
 from repro.cc.codegen_opt import compile_opt
+from repro.errors import UnknownBenchmarkError, unknown_name_message
 from repro.suite.hackers_delight import (HD_BUILDERS, STARRED,
                                          SYNTHESIS_TIMEOUT)
 from repro.suite.kernels import (LIST_GCC_FRAGMENT, LIST_O0_FRAGMENT,
@@ -23,7 +24,7 @@ from repro.suite.kernels import (LIST_GCC_FRAGMENT, LIST_O0_FRAGMENT,
                                  SAXPY_MEM_OUT, mont_ast, mont_ref,
                                  saxpy_ast, saxpy_ref)
 from repro.testgen.annotations import (Annotations, PointerInput,
-                                       RandomInput, RangeInput)
+                                       RangeInput)
 from repro.verifier.validator import LiveSpec
 from repro.x86.parser import parse_program
 from repro.x86.program import Program
@@ -155,8 +156,17 @@ _REGISTRY = _build_registry()
 
 
 def benchmark(name: str) -> Benchmark:
-    """Look up a benchmark by name (p01..p25, mont, saxpy, list)."""
-    return _REGISTRY[name]
+    """Look up a benchmark by name (p01..p25, mont, saxpy, list).
+
+    Raises:
+        UnknownBenchmarkError: for names not in the suite, with
+            close-match suggestions (the CLI prints it and exits 2).
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBenchmarkError(
+            unknown_name_message("kernel", name, _REGISTRY)) from None
 
 
 def all_benchmarks() -> list[Benchmark]:

@@ -10,7 +10,6 @@ the validator go through the same packaging.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 
 from repro.emulator.cpu import Emulator
 from repro.emulator.sandbox import Sandbox
@@ -18,7 +17,7 @@ from repro.emulator.state import MachineState
 from repro.errors import EmulationError
 from repro.testgen.annotations import (ARENA_BASE, ARENA_STRIDE,
                                        Annotations, ConstantInput,
-                                       InputKind, PointerInput,
+                                       PointerInput,
                                        RandomInput, RangeInput)
 from repro.testgen.testcase import Testcase, resolve_mem_out
 from repro.verifier.validator import Counterexample, LiveSpec

@@ -8,7 +8,7 @@ target's memory accesses (Section 5.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.emulator.sandbox import Sandbox
 from repro.emulator.state import MachineState

@@ -26,14 +26,13 @@ validates without special cases.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import SymbolicExecutionError
 from repro.smt.bitvec import BV, Context
 from repro.x86.instruction import Instruction, is_unused
-from repro.x86.operands import Imm
 from repro.x86.program import Program
-from repro.x86.registers import RegClass, Register, view
+from repro.x86.registers import Register, view
 from repro.x86.semantics import (cc_value, execute, read_operand, read_reg,
                                  write_reg)
 
@@ -286,7 +285,6 @@ class SymbolicExecutor:
         self.m = machine
 
     def run(self, prog: Program) -> None:
-        ctx = self.m.ctx
         pending: dict[str, list[tuple[BV, tuple]]] = {}
         label_at: dict[int, list[str]] = {}
         for name, index in prog.labels.items():
@@ -336,7 +334,6 @@ class SymbolicExecutor:
     def _apply_uf(self, instr: Instruction) -> None:
         """Uninterpreted-function treatment of wide mul/div (§5.2)."""
         m = self.m
-        ctx = m.ctx
         width = instr.opcode.width
         family = instr.opcode.family
         if family == "imul" and len(instr.operands) == 2:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import SolverTimeoutError, SymbolicExecutionError
+from repro.errors import SymbolicExecutionError
 from repro.smt.bitvec import BV, Context
 from repro.smt.solver import BVSolver
 from repro.verifier.symbolic import (DEFAULT_UF_WIDTH, SharedMemory,
@@ -22,7 +22,6 @@ from repro.verifier.symbolic import (DEFAULT_UF_WIDTH, SharedMemory,
 from repro.x86.operands import Mem
 from repro.x86.program import Program
 from repro.x86.registers import lookup
-from repro.x86.semantics import effective_address
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,7 @@ from functools import cached_property
 
 from repro.x86 import isa
 from repro.x86.isa import Opcode, Slot, check_operands
-from repro.x86.operands import Imm, Label, Mem, Operand, Reg
+from repro.x86.operands import Label, Mem, Operand, Reg
 from repro.x86.registers import Register
 
 

@@ -13,11 +13,11 @@ order (``addq rdx, rax`` adds ``rdx`` into ``rax``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.errors import OperandTypeError, UnknownOpcodeError
-from repro.x86.operands import (Imm, Label, Mem, Operand, OperandKind, Reg)
+from repro.x86.operands import (Operand, OperandKind, Reg)
 from repro.x86.registers import RegClass
 
 R = OperandKind.REG

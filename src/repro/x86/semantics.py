@@ -21,7 +21,7 @@ engines, and therefore harmless to the reproduction):
 
 from __future__ import annotations
 
-from typing import Any, Protocol, TypeVar
+from typing import Protocol, TypeVar
 
 from repro.errors import EmulationError, OperandTypeError
 from repro.x86.algebra import Algebra
@@ -163,7 +163,6 @@ def _write_result_flags(m: Machine[V], width: int, result: V) -> None:
 def cc_value(m: Machine[V], cc: str) -> V:
     """Evaluate a canonical condition code to a 1-bit value."""
     alg = m.alg
-    one = alg.const(1, 1)
 
     def flag(name: str) -> V:
         return m.read_flag(name)
@@ -324,7 +323,6 @@ def _sem_movsx(instr: Instruction, m: Machine[V]) -> None:
 def _binary_arith(instr: Instruction, m: Machine[V], *,
                   carry: bool = False, subtract: bool = False,
                   write_back: bool = True) -> None:
-    alg = m.alg
     width = instr.opcode.width
     src = read_operand(m, instr.operands[0], width)
     dst = read_operand(m, instr.operands[1], width)

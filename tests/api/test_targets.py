@@ -1,0 +1,76 @@
+"""Target constructors: suite, listing, file, mini-C."""
+
+import pytest
+
+from repro.api.targets import Target, parse_registers
+from repro.errors import ReproError, UnknownBenchmarkError
+from repro.suite.registry import benchmark
+
+LISTING = """
+    movq rdi, rax
+    addq rsi, rax
+"""
+
+
+def test_from_suite_matches_registry():
+    target = Target.from_suite("p01")
+    bench = benchmark("p01")
+    assert target.program is bench.o0
+    assert target.spec == bench.spec
+    assert target.name == "p01"
+
+
+def test_from_suite_unknown_name_is_a_clean_error():
+    with pytest.raises(UnknownBenchmarkError, match="did you mean"):
+        Target.from_suite("p0x")
+
+
+def test_from_listing_with_string_live_spec():
+    target = Target.from_listing(LISTING, live_in="rdi, rsi",
+                                 live_out="rax", name="add")
+    assert target.program.instruction_count == 2
+    assert target.spec.live_in == ("rdi", "rsi")
+    assert target.spec.live_out == ("rax",)
+    assert target.name == "add"
+
+
+def test_from_file_reads_and_names_after_stem(tmp_path):
+    path = tmp_path / "mykernel.s"
+    path.write_text(LISTING)
+    target = Target.from_file(path, live_in=["rdi", "rsi"],
+                              live_out=["rax"])
+    assert target.name == "mykernel"
+    assert target.program.instruction_count == 2
+
+
+def test_from_file_missing_path_is_a_clean_error(tmp_path):
+    with pytest.raises(ReproError, match="cannot read"):
+        Target.from_file(tmp_path / "nope.s", live_in="rdi",
+                         live_out="rax")
+
+
+def test_empty_live_out_is_rejected():
+    # equality over zero outputs is vacuous; any program would verify
+    with pytest.raises(ReproError, match="at least one register"):
+        Target.from_listing(LISTING, live_in="rdi,rsi", live_out=",")
+
+
+def test_bad_register_name_is_a_clean_error():
+    with pytest.raises(ReproError, match="not a register name"):
+        Target.from_listing(LISTING, live_in="rdi,banana",
+                            live_out="rax")
+
+
+def test_from_function_compiles_o0_style():
+    from repro.suite.hackers_delight import HD_BUILDERS
+    builder, _reference = HD_BUILDERS["p01"]
+    target = Target.from_function(builder())
+    bench = benchmark("p01")
+    assert str(target.program) == str(bench.o0)
+    assert target.spec.live_in == bench.spec.live_in
+    assert target.spec.live_out == ("eax",)
+
+
+def test_parse_registers_normalizes():
+    assert parse_registers("rdi, rsi", "live-in") == ("rdi", "rsi")
+    assert parse_registers(("eax",), "live-out") == ("eax",)

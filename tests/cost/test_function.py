@@ -68,6 +68,49 @@ def test_bound_not_exceeded_evaluates_fully():
     assert result.testcases_evaluated == len(cost.testcases)
 
 
+def test_counterexamples_do_not_mutate_the_callers_suite():
+    generator = TestcaseGenerator(TARGET, SPEC, Annotations(), seed=1)
+    suite = generator.generate(8)
+    cost = CostFunction(suite, TARGET)
+    cost.add_testcase(generator.generate(1)[0])
+    assert len(suite) == 8                    # caller's list untouched
+    assert len(cost.testcases) == 9
+
+
+def test_custom_terms_change_the_cost():
+    from repro.cost.terms import CostSpec
+    generator = TestcaseGenerator(TARGET, SPEC, Annotations(), seed=1)
+    testcases = generator.generate(8)
+    default = CostFunction(testcases, TARGET, phase=Phase.OPTIMIZATION)
+    sized = CostFunction(
+        testcases, TARGET, phase=Phase.OPTIMIZATION,
+        terms=CostSpec.parse("correctness,latency,size:5").instantiate())
+    shorter = parse_program("leaq (rdi,rsi,1), rax")
+    gap = len(shorter.real_instructions()) - len(TARGET.real_instructions())
+    assert (sized.evaluate(shorter).value
+            == default.evaluate(shorter).value + 5 * gap)
+
+
+def test_fractional_correctness_weight_keeps_failures_positive():
+    """int truncation must not turn a failing testcase into eq' == 0."""
+    import pytest
+    from repro.cost.terms import CostSpec
+    from repro.errors import SearchError
+    generator = TestcaseGenerator(TARGET, SPEC, Annotations(), seed=1)
+    testcases = generator.generate(8)
+    cost = CostFunction(
+        testcases, TARGET,
+        terms=CostSpec.parse("correctness:0.25").instantiate())
+    wrong = parse_program("movq rdi, rax\nsubq rsi, rax")
+    result = cost.evaluate(wrong)
+    assert result.eq_term > 0
+    assert not result.correct_on_tests
+    # a spec with no per-testcase term degenerates search; reject it
+    with pytest.raises(SearchError, match="per-testcase term"):
+        CostFunction(testcases, TARGET,
+                     terms=CostSpec.parse("latency").instantiate())
+
+
 def test_add_testcase_changes_landscape():
     cost = _cost_fn(Phase.SYNTHESIS)
     before = len(cost.testcases)

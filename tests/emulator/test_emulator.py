@@ -1,11 +1,9 @@
 """Emulator, state, and sandbox tests (err-term event counting)."""
 
-import pytest
 
 from repro.emulator.cpu import Emulator, run_program
 from repro.emulator.sandbox import Sandbox
 from repro.emulator.state import MachineState
-from repro.errors import StepLimitExceeded
 from repro.x86.parser import parse_program
 from repro.x86.registers import lookup
 

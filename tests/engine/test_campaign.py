@@ -122,9 +122,24 @@ def test_corrupt_mid_journal_line_is_an_error(tmp_path):
         CheckpointStore(run_dir).completed()
 
 
+def test_resume_of_old_manifest_version_names_the_version(tmp_path):
+    run_dir = tmp_path / "run"
+    _campaign(EngineOptions(jobs=1, run_dir=run_dir)).run()
+    manifest_path = run_dir / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["version"] = 1
+    del manifest["cost"]                     # a PR-1 era manifest
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(EngineError, match="version 1 is not"):
+        _campaign(EngineOptions(jobs=1, run_dir=run_dir,
+                                resume=True)).run()
+
+
 def test_manifest_freezes_testcases(tmp_path):
     run_dir = tmp_path / "run"
     _campaign(EngineOptions(jobs=1, run_dir=run_dir)).run()
     manifest = json.loads((run_dir / "manifest.json").read_text())
     assert len(manifest["testcases"]) == CONFIG.testcase_count
-    assert manifest["version"] == 1
+    assert manifest["version"] == 2
+    assert manifest["cost"] == "correctness,latency"
+    assert manifest["strategy"] == "mcmc"

@@ -1,6 +1,7 @@
 """CLI tests for the engine flags and the optimize exit-path fix."""
 
 import repro.cli as cli
+from repro.api.session import Result
 from repro.search.stoke import StokeResult
 from repro.x86.parser import parse_program
 
@@ -33,16 +34,22 @@ def test_optimize_reports_target_and_exits_zero_when_unimproved(
         monkeypatch, capsys):
     target = parse_program("movq rdi, rax")
 
-    class StubStoke:
+    class StubSession:
         def __init__(self, *args, **kwargs):
             pass
 
         def run(self):
-            return StokeResult(target=target, rewrite=None,
-                               verified=False, target_cycles=123,
-                               rewrite_cycles=123)
+            stoke = StokeResult(target=target, rewrite=None,
+                                verified=False, target_cycles=123,
+                                rewrite_cycles=123)
+            return Result(name="p01", verified=False,
+                          target_asm=str(target), rewrite_asm=None,
+                          target_cycles=123, rewrite_cycles=123,
+                          speedup=1.0, seconds=0.0,
+                          cost="correctness,latency", strategy="mcmc",
+                          stoke=stoke)
 
-    monkeypatch.setattr(cli, "Stoke", StubStoke)
+    monkeypatch.setattr(cli, "Session", StubSession)
     code = cli.main(["optimize", "p01", "--proposals", "100"])
     assert code == 0
     out = capsys.readouterr().out

@@ -1,6 +1,5 @@
 """End-to-end integration tests of the Figure 9 pipeline."""
 
-import pytest
 
 from repro.search.config import SearchConfig
 from repro.search.ranker import rerank

@@ -6,8 +6,6 @@ from collections import Counter
 from repro.search.config import SearchConfig
 from repro.search.moves import (DEFAULT_CONSTANT_BAG, EXCLUDED_FAMILIES,
                                 MoveGenerator, MoveKind)
-from repro.x86.instruction import is_unused
-from repro.x86.operands import Imm, Mem
 from repro.x86.parser import parse_program
 
 TARGET = parse_program("""

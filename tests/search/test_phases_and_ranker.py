@@ -1,8 +1,6 @@
 """Phase orchestration, ranker, runner, and CLI surface tests."""
 
-import random
 
-import pytest
 
 from repro.cost.function import CostFunction, Phase
 from repro.search.config import SearchConfig

@@ -6,9 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.smt.bitvec import BV, Context
-from repro.smt.sat import Solver
 from repro.smt.solver import BVSolver
-from repro.x86.algebra import mask
 
 _WIDTH = 8
 

@@ -1,6 +1,6 @@
 """Property tests for the concrete value algebra."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.x86.algebra import INT_ALGEBRA as A, mask, to_signed

@@ -9,7 +9,6 @@ from repro.search.config import SearchConfig
 from repro.search.moves import MoveGenerator
 from repro.x86.parser import parse_instruction, parse_program
 from repro.x86.printer import format_instruction, format_program
-from repro.x86.program import Program
 
 
 @given(st.integers(0, 100_000))

@@ -1,6 +1,5 @@
 """Concrete instruction semantics, including the paper's key idioms."""
 
-import pytest
 
 from repro.emulator.cpu import Emulator
 from repro.emulator.sandbox import Sandbox
@@ -161,12 +160,11 @@ def test_neg_flags():
 
 
 def test_sse_broadcast_multiply_add():
-    state = run("""
+    run("""
         movd edi, xmm0
         pshufd 0, xmm0, xmm0
         pmulld xmm1, xmm0
     """, edi=3)
-    state2 = MachineState()
     # direct check of the broadcast result
     state3 = run("movd edi, xmm0\npshufd 0, xmm0, xmm0", edi=7)
     xmm0 = state3.regs["xmm0"]
