@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 
 from conftest import make_testcases
+from repro.emulator.compile import compile_program
 from repro.emulator.cpu import Emulator
 from repro.suite.registry import benchmark as get_benchmark
 from repro.verifier.validator import Validator
@@ -22,12 +23,30 @@ def _evaluate_once(bench, testcases) -> None:
         Emulator(state, testcase.sandbox()).run(bench.o0)
 
 
+def _evaluate_once_compiled(bench, testcases, pools) -> None:
+    compiled = compile_program(bench.o0)
+    for testcase, pool in zip(testcases, pools):
+        testcase.reset_into(pool)
+        compiled.run(pool, testcase.sandbox())
+
+
 def test_testcase_eval_throughput(benchmark):
     bench = get_benchmark("p14")
     testcases, _gen = make_testcases(bench, count=16)
     benchmark(_evaluate_once, bench, testcases)
     rate = 16 / benchmark.stats.stats.mean
     print(f"\n[fig2-right] testcase evaluations/second ~ {rate:,.0f}")
+
+
+def test_testcase_eval_throughput_compiled(benchmark):
+    """The compiled fast path on the same Figure 2 workload."""
+    from repro.emulator.state import MachineState
+    bench = get_benchmark("p14")
+    testcases, _gen = make_testcases(bench, count=16)
+    pools = [MachineState() for _ in testcases]
+    benchmark(_evaluate_once_compiled, bench, testcases, pools)
+    rate = 16 / benchmark.stats.stats.mean
+    print(f"\n[fig2-right] compiled evaluations/second ~ {rate:,.0f}")
 
 
 def test_validation_throughput(benchmark):

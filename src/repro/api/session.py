@@ -48,6 +48,8 @@ class Result:
     seconds: float
     cost: str
     strategy: str
+    proposals_per_second: float
+    testcases_per_proposal: float
     stoke: StokeResult = field(repr=False)
 
     @property
@@ -67,6 +69,9 @@ class Result:
             "seconds": round(self.seconds, 3),
             "cost": self.cost,
             "strategy": self.strategy,
+            "proposals_per_second": round(self.proposals_per_second, 1),
+            "testcases_per_proposal":
+                round(self.testcases_per_proposal, 3),
         }
 
 
@@ -87,6 +92,10 @@ class Session:
         validator: sound validator for candidate promotion; defaults to
             a fresh :class:`Validator`, pass None to skip validation.
         engine: worker count and checkpoint options.
+        evaluator: how candidates execute in the inner loop —
+            ``"compiled"`` (default) or ``"reference"``; overrides any
+            ``evaluator=`` token in the cost spec. Results are
+            bit-identical either way; only throughput differs.
     """
 
     def __init__(self, target: Target, *,
@@ -94,10 +103,11 @@ class Session:
                  cost: CostSpec | str | None = None,
                  strategy: StrategySpec | str | None = None,
                  validator: Validator | None | object = _DEFAULT_VALIDATOR,
-                 engine: EngineOptions | None = None) -> None:
+                 engine: EngineOptions | None = None,
+                 evaluator: str | None = None) -> None:
         self.target = target
         self.config = config or SearchConfig()
-        self.cost = CostSpec.parse(cost)
+        self.cost = CostSpec.parse(cost).with_evaluator(evaluator)
         self.strategy = StrategySpec.parse(strategy)
         if validator is _DEFAULT_VALIDATOR:
             validator = Validator()
@@ -123,5 +133,7 @@ class Session:
             seconds=outcome.seconds,
             cost=self.cost.spec_string(),
             strategy=self.strategy.spec_string(),
+            proposals_per_second=outcome.proposals_per_second,
+            testcases_per_proposal=outcome.testcases_per_proposal,
             stoke=outcome,
         )

@@ -25,7 +25,7 @@ from pathlib import Path
 
 from repro.api.session import Result, Session
 from repro.api.targets import Target
-from repro.cost.terms import available_cost_terms
+from repro.cost.terms import EVALUATORS, available_cost_terms
 from repro.engine.campaign import EngineOptions
 from repro.errors import ReproError
 from repro.perfsim.model import actual_runtime
@@ -117,7 +117,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     session = Session(target,
                       config=_search_config(args, len(target.program)),
                       cost=args.cost, strategy=args.strategy,
-                      engine=_engine_options(args))
+                      engine=_engine_options(args),
+                      evaluator=args.evaluator)
     return _report(session.run(), args.json)
 
 
@@ -128,7 +129,8 @@ def _cmd_optimize_file(args: argparse.Namespace) -> int:
     session = Session(target,
                       config=_search_config(args, len(target.program)),
                       cost=args.cost, strategy=args.strategy,
-                      engine=_engine_options(args))
+                      engine=_engine_options(args),
+                      evaluator=args.evaluator)
     return _report(session.run(), args.json)
 
 
@@ -167,12 +169,18 @@ def _cmd_engine_campaign(args: argparse.Namespace) -> int:
                                 resume=resume)
         outcome = evaluate_benchmark(bench, seed=args.seed + index,
                                      synthesis=args.synthesis,
-                                     engine=options)
+                                     engine=options,
+                                     evaluator=args.evaluator)
         rows.append(outcome)
         print(outcome.row(), flush=True)
     improved = sum(1 for row in rows if row.stoke_speedup > 1.0)
+    mean_pps = (sum(row.proposals_per_second for row in rows) /
+                len(rows)) if rows else 0.0
+    mean_tpp = (sum(row.testcases_per_proposal for row in rows) /
+                len(rows)) if rows else 0.0
     print(f"campaign done: {improved}/{len(rows)} kernels improved "
-          f"(jobs={args.jobs})")
+          f"(jobs={args.jobs}, {mean_pps:,.0f} proposals/s, "
+          f"{mean_tpp:.2f} testcases/proposal)")
     return 0
 
 
@@ -231,6 +239,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=17)
     campaign.add_argument("--synthesis", action="store_true",
                           help="also run the synthesis phase")
+    campaign.add_argument(
+        "--evaluator", default=None, choices=sorted(EVALUATORS),
+        help="inner-loop candidate evaluator (default: compiled)")
     _add_engine_arguments(campaign)
     campaign.set_defaults(fn=_cmd_engine_campaign)
     return parser
@@ -255,6 +266,10 @@ def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
         "--strategy", default=None,
         help="search strategy "
              f"(available: {', '.join(available_strategies())})")
+    parser.add_argument(
+        "--evaluator", default=None, choices=sorted(EVALUATORS),
+        help="inner-loop candidate evaluator (default: compiled; "
+             "results are identical, only throughput differs)")
     parser.add_argument("--json", action="store_true",
                         help="print the result as JSON")
 

@@ -13,6 +13,14 @@ Two variants are provided:
 
 Both are computed from the final :class:`MachineState` after running
 the rewrite on a testcase, plus the event counters for err(·).
+
+This is the hottest evaluator-independent code in the MCMC inner loop
+(it runs once per testcase per proposal), so the register views and
+same-width candidate locations are resolved once per testcase and
+cached on it, and the scan over alternative locations is skipped when
+the in-place distance is already within the misplacement penalty —
+no candidate can beat ``best`` unless ``best > wm``, so the pruned
+scan returns exactly the Eq. 15 value.
 """
 
 from __future__ import annotations
@@ -42,13 +50,50 @@ def err_penalty(state: MachineState, weights: CostWeights) -> int:
             weights.wur * events.undef)
 
 
+def _reg_outputs(testcase: Testcase) \
+        -> tuple[tuple[str, int, int, tuple[tuple[str, int], ...]], ...]:
+    """Per live-out register: (full, mask, expected, other locations).
+
+    Resolved once per testcase: the register view lookup and the list
+    of same-width alternative locations never change.
+    """
+    cached = testcase.__dict__.get("_reg_outputs")
+    if cached is None:
+        outputs = []
+        for name, expected in testcase.expected_regs:
+            reg = lookup(name)
+            others = tuple((candidate.full, candidate.mask)
+                           for candidate in registers_of_width(reg.width)
+                           if candidate.name != name)
+            outputs.append((reg.full, reg.mask, expected, others))
+        cached = tuple(outputs)
+        testcase.__dict__["_reg_outputs"] = cached
+    return cached
+
+
+def _mem_outputs(testcase: Testcase) \
+        -> tuple[tuple[int, int, tuple[int, ...]], ...]:
+    """Per live-out byte: (addr, expected, other output addresses)."""
+    cached = testcase.__dict__.get("_mem_outputs")
+    if cached is None:
+        addrs = tuple(addr for addr, _ in testcase.expected_memory)
+        cached = tuple(
+            (addr, expected,
+             tuple(other for other in addrs if other != addr))
+            for addr, expected in testcase.expected_memory)
+        testcase.__dict__["_mem_outputs"] = cached
+    return cached
+
+
 def strict_distance(state: MachineState, testcase: Testcase) -> int:
     """reg + mem Hamming distance, strict placement (Eqs. 9, 10)."""
     total = 0
-    for name, expected in testcase.expected_regs:
-        total += (expected ^ state.get_reg(name)).bit_count()
+    regs = state.regs
+    for full, reg_mask, expected, _others in _reg_outputs(testcase):
+        total += (expected ^ (regs[full] & reg_mask)).bit_count()
+    memory = state.memory
     for addr, expected in testcase.expected_memory:
-        total += (expected ^ state.memory.get(addr, 0)).bit_count()
+        total += (expected ^ memory.get(addr, 0)).bit_count()
     return total
 
 
@@ -56,31 +101,31 @@ def improved_distance(state: MachineState, testcase: Testcase,
                       weights: CostWeights) -> int:
     """reg' + mem' distance with misplacement credit (Eq. 15)."""
     total = 0
-    for name, expected in testcase.expected_regs:
-        reg = lookup(name)
-        best = (expected ^ state.get_reg(name)).bit_count()
-        if best:
-            for candidate in registers_of_width(reg.width):
-                if candidate.name == name:
-                    continue
+    wm = weights.wm
+    regs = state.regs
+    for full, reg_mask, expected, others in _reg_outputs(testcase):
+        best = (expected ^ (regs[full] & reg_mask)).bit_count()
+        if best > wm:         # a misplaced value costs at least wm
+            for other_full, other_mask in others:
                 distance = (expected ^
-                            state.get_reg(candidate.name)).bit_count() \
-                    + weights.wm
+                            (regs[other_full] & other_mask)).bit_count() \
+                    + wm
                 if distance < best:
                     best = distance
+                    if best <= wm:     # exact match elsewhere: floor
+                        break
         total += best
-    output_addrs = [addr for addr, _ in testcase.expected_memory]
-    for addr, expected in testcase.expected_memory:
-        best = (expected ^ state.memory.get(addr, 0)).bit_count()
-        if best:
-            for other in output_addrs:
-                if other == addr:
-                    continue
-                distance = (expected ^
-                            state.memory.get(other, 0)).bit_count() \
-                    + weights.wm
+    memory = state.memory
+    for addr, expected, other_addrs in _mem_outputs(testcase):
+        best = (expected ^ memory.get(addr, 0)).bit_count()
+        if best > wm:
+            for other in other_addrs:
+                distance = (expected ^ memory.get(other, 0)).bit_count() \
+                    + wm
                 if distance < best:
                     best = distance
+                    if best <= wm:
+                        break
         total += best
     return total
 

@@ -12,7 +12,19 @@ testcase loop. Both search phases of Section 4.4 are supported:
 
 The evaluator supports bounded evaluation for the optimized acceptance
 computation of Section 4.5: evaluation stops as soon as the running
-cost exceeds the precomputed acceptance bound (Eq. 14).
+cost exceeds the precomputed acceptance bound (Eq. 14). Two refinements
+sharpen that loop:
+
+* candidates run on a selectable *evaluator* — ``compiled`` (default)
+  lowers the rewrite once via :mod:`repro.emulator.compile` and reuses
+  a pooled machine state across testcases; ``reference`` is the
+  original per-testcase interpreter. Both produce bit-identical states
+  and therefore identical costs;
+* testcases are visited most-discriminating-first, ordered by a
+  deterministic per-testcase failure counter, so the Eq. 14 bound is
+  usually exceeded within the first few testcases. Accept/reject
+  decisions and final costs are unchanged (the total is a sum); only
+  ``testcases_evaluated`` shifts.
 """
 
 from __future__ import annotations
@@ -23,8 +35,11 @@ from enum import Enum
 from typing import Sequence
 
 from repro.cost.correctness import CostWeights
-from repro.cost.terms import CostTerm, DEFAULT_COST_TERMS, CostSpec, TermContext
+from repro.cost.terms import (CostTerm, DEFAULT_COST_TERMS, CostSpec,
+                              DEFAULT_EVALUATOR, EVALUATORS, TermContext)
+from repro.emulator.compile import compile_program
 from repro.emulator.cpu import Emulator
+from repro.emulator.state import MachineState
 from repro.errors import SearchError
 from repro.testgen.testcase import Testcase
 from repro.x86.program import Program
@@ -73,6 +88,9 @@ class CostFunction:
     :meth:`CostSpec.instantiate`; the default reproduces the paper's
     c = eq + perf exactly. Terms are bound to this function's target
     here, so instances must not be shared between cost functions.
+
+    ``evaluator`` selects how candidates execute: ``"compiled"``
+    (default) or ``"reference"``; see the module docstring.
     """
 
     def __init__(self, testcases: Sequence[Testcase], target: Program, *,
@@ -80,13 +98,25 @@ class CostFunction:
                  weights: CostWeights | None = None,
                  improved: bool = True,
                  max_steps: int = 10_000,
-                 terms: Sequence[tuple[float, CostTerm]] | None = None) \
-            -> None:
+                 terms: Sequence[tuple[float, CostTerm]] | None = None,
+                 evaluator: str = DEFAULT_EVALUATOR) -> None:
         self.testcases = list(testcases)
         self.weights = weights or CostWeights()
         self.improved = improved
         self.phase = phase
         self.max_steps = max_steps
+        if evaluator not in EVALUATORS:
+            raise SearchError(
+                f"unknown evaluator {evaluator!r} "
+                f"(available: {', '.join(sorted(EVALUATORS))})")
+        self.evaluator = evaluator
+        # one pooled state per testcase, created lazily; _pool_dirty
+        # remembers the write-set of the last program run on each pool
+        # so the next reset only undoes what that run could have touched
+        self._pools: list[MachineState | None] = \
+            [None] * len(self.testcases)
+        self._pool_dirty: list[tuple | None] = [None] * len(self.testcases)
+        self._fail_counts = [0] * len(self.testcases)
         if terms is None:
             terms = CostSpec(DEFAULT_COST_TERMS).instantiate()
         context = TermContext(target=target, weights=self.weights,
@@ -109,6 +139,22 @@ class CostFunction:
 
     def add_testcase(self, testcase: Testcase) -> None:
         self.testcases.append(testcase)
+        self._pools.append(None)
+        self._pool_dirty.append(None)
+        self._fail_counts.append(0)
+
+    def _visit_order(self) -> list[int]:
+        """Testcase indices, most-discriminating-first.
+
+        The failure counters depend only on the (deterministic)
+        sequence of evaluations this function has performed, so the
+        order — and with it the ``testcases_evaluated`` statistics —
+        is reproducible across runs, worker counts and resumes.
+        """
+        counts = self._fail_counts
+        order = list(range(len(counts)))
+        order.sort(key=lambda i: -counts[i])      # stable: ties by index
+        return order
 
     # -- evaluation ---------------------------------------------------------------
 
@@ -124,15 +170,37 @@ class CostFunction:
             for weight, term in self._static_terms:
                 value = term.program_cost(rewrite)
                 total += value if weight == 1 else int(value * weight)
+        compiled = None
+        if self.evaluator == "compiled":
+            compiled = compile_program(rewrite)
         evaluated = 0
         eq_term = 0
-        for testcase in self.testcases:
+        fail_counts = self._fail_counts
+        for index in self._visit_order():
             if bound is not None and total > bound:
                 return CostResult(value=None, eq_term=eq_term,
                                   testcases_evaluated=evaluated)
-            state = testcase.initial_state()
-            emulator = Emulator(state, testcase.sandbox())
-            emulator.run(rewrite, max_steps=self.max_steps)
+            testcase = self.testcases[index]
+            if compiled is not None:
+                state = self._pools[index]
+                if state is None:
+                    state = testcase.initial_state()
+                    self._pools[index] = state
+                else:
+                    dirty = self._pool_dirty[index]
+                    assert dirty is not None
+                    testcase.undo_writes(state, *dirty)
+                # recorded before running: a partial run (fault, step
+                # limit) dirties a subset of the static write-set
+                self._pool_dirty[index] = (compiled.regs_written,
+                                           compiled.flags_written,
+                                           compiled.writes_memory)
+                compiled.run(state, testcase.sandbox(),
+                             max_steps=self.max_steps)
+            else:
+                state = testcase.initial_state()
+                emulator = Emulator(state, testcase.sandbox())
+                emulator.run(rewrite, max_steps=self.max_steps)
             case_total = 0
             for weight, term in self._testcase_terms:
                 value = term.testcase_cost(rewrite, state, testcase)
@@ -141,6 +209,8 @@ class CostFunction:
                 # stop meaning "passed every testcase"
                 case_total += value if weight == 1 \
                     else math.ceil(value * weight)
+            if case_total:
+                fail_counts[index] += 1
             total += case_total
             eq_term += case_total
             evaluated += 1

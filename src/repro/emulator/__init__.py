@@ -1,8 +1,9 @@
 """Sandboxed concrete execution of X86 subset programs."""
 
+from repro.emulator.compile import CompiledProgram, compile_program
 from repro.emulator.cpu import Emulator, run_program
 from repro.emulator.sandbox import Sandbox
 from repro.emulator.state import MachineState, RunEvents
 
-__all__ = ["Emulator", "MachineState", "RunEvents", "Sandbox",
-           "run_program"]
+__all__ = ["CompiledProgram", "Emulator", "MachineState", "RunEvents",
+           "Sandbox", "compile_program", "run_program"]

@@ -18,6 +18,8 @@ from repro.x86.program import Program
 from repro.x86.registers import Register
 from repro.x86.semantics import cc_value, execute
 
+_M64 = (1 << 64) - 1
+
 
 class Emulator:
     """Executes programs against a :class:`MachineState` in a sandbox."""
@@ -58,7 +60,7 @@ class Emulator:
         state = self.state
         result = 0
         for i in range(nbytes):
-            byte_addr = (addr + i) & ((1 << 64) - 1)
+            byte_addr = (addr + i) & _M64
             if not self.sandbox.check(byte_addr):
                 state.events.sigsegv += 1
                 continue                      # byte reads as zero
@@ -71,7 +73,7 @@ class Emulator:
     def write_mem(self, addr: int, nbytes: int, value: int) -> None:
         state = self.state
         for i in range(nbytes):
-            byte_addr = (addr + i) & ((1 << 64) - 1)
+            byte_addr = (addr + i) & _M64
             if not self.sandbox.check(byte_addr):
                 state.events.sigsegv += 1
                 continue

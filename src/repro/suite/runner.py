@@ -64,6 +64,8 @@ class BenchmarkOutcome:
     synthesis_seconds: float = 0.0
     optimization_seconds: float = 0.0
     synthesis_succeeded: bool = False
+    proposals_per_second: float = 0.0
+    testcases_per_proposal: float = 0.0
 
     def row(self) -> str:
         star = "*" if self.stoke_speedup > max(self.gcc_speedup,
@@ -71,30 +73,35 @@ class BenchmarkOutcome:
         return (f"{self.name:>6}{star} o0=1.00x  "
                 f"gcc={self.gcc_speedup:4.2f}x  "
                 f"icc={self.icc_speedup:4.2f}x  "
-                f"stoke={self.stoke_speedup:4.2f}x"
+                f"stoke={self.stoke_speedup:4.2f}x  "
+                f"[{self.proposals_per_second:7,.0f} prop/s, "
+                f"{self.testcases_per_proposal:4.2f} tc/prop]"
                 f"{'' if self.stoke_verified else '  (unverified)'}")
 
 
 def run_stoke(bench: Benchmark, *, seed: int = 0,
               synthesis: bool = False,
-              engine: EngineOptions | None = None) -> StokeResult:
+              engine: EngineOptions | None = None,
+              evaluator: str | None = None) -> StokeResult:
     """Run the full pipeline on one benchmark's O0 target."""
     config = search_config(bench, seed=seed, synthesis=synthesis)
     stoke = Stoke(bench.o0, bench.spec, bench.annotations, config=config,
-                  validator=Validator(), engine=engine)
+                  validator=Validator(), engine=engine,
+                  evaluator=evaluator)
     return stoke.run()
 
 
 def evaluate_benchmark(bench: Benchmark, *, seed: int = 0,
                        synthesis: bool = False,
-                       engine: EngineOptions | None = None) \
+                       engine: EngineOptions | None = None,
+                       evaluator: str | None = None) \
         -> BenchmarkOutcome:
     """Measure the Figure 10 column for one kernel."""
     o0_cycles = actual_runtime(bench.o0.compact())
     gcc_cycles = actual_runtime(bench.gcc.compact())
     icc_cycles = actual_runtime(bench.icc.compact())
     result = run_stoke(bench, seed=seed, synthesis=synthesis,
-                       engine=engine)
+                       engine=engine, evaluator=evaluator)
     stoke_cycles = result.rewrite_cycles
     return BenchmarkOutcome(
         name=bench.name,
@@ -106,4 +113,6 @@ def evaluate_benchmark(bench: Benchmark, *, seed: int = 0,
         synthesis_seconds=result.synthesis_seconds,
         optimization_seconds=result.optimization_seconds,
         synthesis_succeeded=result.synthesis_succeeded,
+        proposals_per_second=result.proposals_per_second,
+        testcases_per_proposal=result.testcases_per_proposal,
     )

@@ -4,8 +4,9 @@ from repro.testgen.annotations import (Annotations, ConstantInput,
                                        PointerInput, RandomInput,
                                        RangeInput)
 from repro.testgen.generator import DEFAULT_TESTCASE_COUNT, TestcaseGenerator
-from repro.testgen.testcase import Testcase, resolve_mem_out
+from repro.testgen.testcase import (Testcase, build_reg_lookup,
+                                    resolve_mem_out)
 
 __all__ = ["Annotations", "ConstantInput", "DEFAULT_TESTCASE_COUNT",
            "PointerInput", "RandomInput", "RangeInput", "Testcase",
-           "TestcaseGenerator", "resolve_mem_out"]
+           "TestcaseGenerator", "build_reg_lookup", "resolve_mem_out"]

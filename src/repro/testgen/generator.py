@@ -19,7 +19,8 @@ from repro.testgen.annotations import (ARENA_BASE, ARENA_STRIDE,
                                        Annotations, ConstantInput,
                                        PointerInput,
                                        RandomInput, RangeInput)
-from repro.testgen.testcase import Testcase, resolve_mem_out
+from repro.testgen.testcase import (Testcase, build_reg_lookup,
+                                    resolve_mem_out)
 from repro.verifier.validator import Counterexample, LiveSpec
 from repro.x86.program import Program
 from repro.x86.registers import lookup
@@ -104,8 +105,9 @@ class TestcaseGenerator:
         expected_regs = {name: state.get_reg(name)
                          for name in self.spec.live_out}
         expected_memory: dict[int, int] = {}
+        reg_lookup = build_reg_lookup(input_regs)
         for mem, nbytes in self.spec.mem_out:
-            base = resolve_mem_out(mem, input_regs)
+            base = resolve_mem_out(mem, input_regs, reg_lookup)
             for i in range(nbytes):
                 addr = (base + i) & ((1 << 64) - 1)
                 expected_memory[addr] = state.memory.get(addr, 0)

@@ -34,12 +34,7 @@ class Testcase:
     expected_memory: tuple[tuple[int, int], ...]
     valid_addresses: frozenset[int]
 
-    def initial_state(self) -> MachineState:
-        """A fresh machine state holding this testcase's inputs.
-
-        The prototype state is built once and copied per call — this is
-        the hottest allocation in the MCMC inner loop.
-        """
+    def _proto(self) -> MachineState:
         proto = self.__dict__.get("_proto_state")
         if proto is None:
             proto = MachineState()
@@ -48,7 +43,69 @@ class Testcase:
             for addr, byte in self.input_memory:
                 proto.memory[addr] = byte
             self.__dict__["_proto_state"] = proto
-        return proto.copy()
+        return proto
+
+    def initial_state(self) -> MachineState:
+        """A fresh machine state holding this testcase's inputs.
+
+        The prototype state is built once and copied per call — this is
+        the hottest allocation in the reference evaluator's inner loop.
+        """
+        return self._proto().copy()
+
+    def reset_into(self, state: MachineState) -> MachineState:
+        """Reset a pooled state in place to this testcase's inputs.
+
+        Equivalent to :meth:`initial_state` but reuses ``state``'s
+        dictionaries instead of allocating five new ones per testcase —
+        the compiled evaluator's replacement for the prototype copy.
+        """
+        proto = self._proto()
+        state.regs.update(proto.regs)
+        state.reg_defined.update(proto.reg_defined)
+        state.flags.update(proto.flags)
+        state.flag_defined.update(proto.flag_defined)
+        memory = state.memory
+        memory.clear()
+        memory.update(proto.memory)
+        state.events.clear()
+        return state
+
+    def undo_writes(self, state: MachineState,
+                    regs_written: tuple[str, ...],
+                    flags_written: tuple[str, ...],
+                    wrote_memory: bool) -> MachineState:
+        """Selective :meth:`reset_into`: undo one program's write-set.
+
+        ``state`` must be a pooled state whose last run on *this*
+        testcase dirtied at most the given registers/flags (and memory
+        only if ``wrote_memory``) — the static write-set the compiled
+        evaluator records before each run. Everything else still holds
+        its prototype value, so only the dirtied entries are restored.
+        """
+        proto = self._proto()
+        if regs_written:
+            proto_regs = proto.regs
+            proto_rdef = proto.reg_defined
+            regs = state.regs
+            rdef = state.reg_defined
+            for name in regs_written:
+                regs[name] = proto_regs[name]
+                rdef[name] = proto_rdef[name]
+        if flags_written:
+            proto_flags = proto.flags
+            proto_fdef = proto.flag_defined
+            flags = state.flags
+            fdef = state.flag_defined
+            for name in flags_written:
+                flags[name] = proto_flags[name]
+                fdef[name] = proto_fdef[name]
+        if wrote_memory:
+            memory = state.memory
+            memory.clear()
+            memory.update(proto.memory)
+        state.events.clear()
+        return state
 
     def sandbox(self) -> Sandbox:
         box = self.__dict__.get("_sandbox")
@@ -60,25 +117,49 @@ class Testcase:
     @property
     def output_width_bits(self) -> int:
         """Total number of live-output bits this testcase checks."""
-        reg_bits = sum(lookup(name).width for name, _ in self.expected_regs)
-        return reg_bits + 8 * len(self.expected_memory)
+        cached = self.__dict__.get("_output_width_bits")
+        if cached is None:
+            reg_bits = sum(lookup(name).width
+                           for name, _ in self.expected_regs)
+            cached = reg_bits + 8 * len(self.expected_memory)
+            self.__dict__["_output_width_bits"] = cached
+        return cached
 
 
-def resolve_mem_out(mem: Mem, input_regs: dict[str, int]) -> int:
+def build_reg_lookup(input_regs: dict[str, int]) -> dict[str, int]:
+    """Full-register name -> value of its first view in ``input_regs``.
+
+    Precomputed once per input set so memory-operand resolution is a
+    dictionary probe instead of a linear scan over the live-ins.
+    """
+    table: dict[str, int] = {}
+    for view_name, value in input_regs.items():
+        table.setdefault(lookup(view_name).full, value)
+    return table
+
+
+def resolve_mem_out(mem: Mem, input_regs: dict[str, int],
+                    reg_lookup: dict[str, int] | None = None) -> int:
     """Evaluate a mem_out addressing expression on testcase inputs."""
+    if reg_lookup is None:
+        reg_lookup = build_reg_lookup(input_regs)
     addr = mem.disp
     if mem.base is not None:
-        addr += _reg_value(mem.base.name, input_regs)
+        addr += _reg_value(mem.base.name, input_regs, reg_lookup)
     if mem.index is not None:
-        addr += mem.scale * _reg_value(mem.index.name, input_regs)
+        addr += mem.scale * _reg_value(mem.index.name, input_regs,
+                                       reg_lookup)
     return addr & ((1 << 64) - 1)
 
 
-def _reg_value(name: str, input_regs: dict[str, int]) -> int:
+def _reg_value(name: str, input_regs: dict[str, int],
+               reg_lookup: dict[str, int]) -> int:
     if name in input_regs:
         return input_regs[name]
     reg = lookup(name)
-    for view_name, value in input_regs.items():
-        if lookup(view_name).full == reg.full:
-            return value & ((1 << reg.width) - 1)
-    raise KeyError(f"address register {name} has no input value")
+    try:
+        value = reg_lookup[reg.full]
+    except KeyError:
+        raise KeyError(
+            f"address register {name} has no input value") from None
+    return value & ((1 << reg.width) - 1)

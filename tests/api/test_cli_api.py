@@ -67,6 +67,15 @@ def test_optimize_json_report(capsys):
     assert payload["name"] == "p01"
     assert payload["cost"] == "correctness,latency"
     assert payload["strategy"] == "mcmc"
+    assert payload["proposals_per_second"] > 0
+
+
+def test_optimize_evaluator_flag(capsys):
+    code = cli.main(["optimize", "p01", "--evaluator", "reference",
+                     "--json"] + FAST_ARGS)
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cost"] == "correctness,latency,evaluator=reference"
 
 
 def test_optimize_file_end_to_end(tmp_path, capsys):

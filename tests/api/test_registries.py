@@ -103,6 +103,40 @@ def test_cost_spec_rejects_bad_input():
         CostSpec.parse("latency:fast")
 
 
+def test_cost_spec_evaluator_round_trips():
+    spec = CostSpec.parse("correctness,latency,evaluator=reference")
+    assert spec.evaluator == "reference"
+    assert spec.terms == (("correctness", 1.0), ("latency", 1.0))
+    assert spec.spec_string() == "correctness,latency,evaluator=reference"
+    assert CostSpec.parse(spec.spec_string()) == spec
+
+
+def test_cost_spec_evaluator_defaults_to_compiled_and_stays_implicit():
+    spec = CostSpec.parse("correctness,latency")
+    assert spec.evaluator == "compiled"
+    # the default never appears in the canonical form, so manifests
+    # written before the evaluator existed still resume cleanly
+    assert "evaluator" not in spec.spec_string()
+    assert CostSpec.parse("correctness,evaluator=compiled"). \
+        spec_string() == "correctness"
+
+
+def test_cost_spec_with_evaluator_override():
+    spec = CostSpec.parse("correctness,latency")
+    assert spec.with_evaluator(None) is spec
+    assert spec.with_evaluator("compiled") is spec
+    replaced = spec.with_evaluator("reference")
+    assert replaced.evaluator == "reference"
+    assert replaced.terms == spec.terms
+
+
+def test_cost_spec_rejects_unknown_evaluator():
+    with pytest.raises(RegistryError, match="unknown evaluator"):
+        CostSpec.parse("correctness,evaluator=turbo")
+    with pytest.raises(RegistryError, match="unknown evaluator"):
+        CostSpec(evaluator="turbo")
+
+
 def test_terms_bind_against_the_target():
     context = TermContext(target=TARGET, weights=CostWeights())
     for name in available_cost_terms():

@@ -47,6 +47,17 @@ def test_result_is_json_serializable():
     assert payload["verified"] is True
     assert payload["speedup"] > 1.0
     assert "movl" in payload["target_asm"]
+    # inner-loop throughput is observable without a profiler
+    assert payload["proposals_per_second"] > 0
+    assert payload["testcases_per_proposal"] > 0
+
+
+def test_session_evaluator_override_rides_the_cost_spec():
+    session = Session(Target.from_suite("p01"), config=CONFIG,
+                      evaluator="reference")
+    assert session.cost.evaluator == "reference"
+    assert session.cost.spec_string() == \
+        "correctness,latency,evaluator=reference"
 
 
 def test_jobs2_bit_identical_with_nondefault_cost_and_strategy():

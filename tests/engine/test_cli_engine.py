@@ -47,6 +47,8 @@ def test_optimize_reports_target_and_exits_zero_when_unimproved(
                           target_cycles=123, rewrite_cycles=123,
                           speedup=1.0, seconds=0.0,
                           cost="correctness,latency", strategy="mcmc",
+                          proposals_per_second=0.0,
+                          testcases_per_proposal=0.0,
                           stoke=stoke)
 
     monkeypatch.setattr(cli, "Session", StubSession)

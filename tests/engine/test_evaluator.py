@@ -1,0 +1,90 @@
+"""Evaluator plumbing: spec travel, manifests, and result invariance.
+
+The evaluator choice rides the cost spec string through worker
+serialization and checkpoint manifests, and — because the compiled and
+reference evaluators are bit-identical — a campaign's outcome must not
+depend on it, at any worker count.
+"""
+
+import json
+
+import pytest
+
+from repro.cost.terms import CostSpec
+from repro.engine.campaign import Campaign, EngineOptions
+from repro.engine.worker import (CampaignContext, context_from_json,
+                                 context_to_json)
+from repro.errors import EngineError
+from repro.search.config import SearchConfig
+from repro.suite.registry import benchmark
+from repro.testgen.generator import TestcaseGenerator
+from repro.verifier.validator import Validator
+
+CONFIG = SearchConfig(ell=12, beta=1.0, seed=9,
+                      optimization_proposals=1200,
+                      optimization_restarts=3,
+                      optimization_chains=2,
+                      synthesis_chains=0,
+                      testcase_count=6)
+
+REFERENCE = CostSpec.parse("correctness,latency,evaluator=reference")
+
+
+def _campaign(options, cost=None):
+    bench = benchmark("p01")
+    return Campaign(bench.o0, bench.spec, bench.annotations,
+                    config=CONFIG, validator=Validator(),
+                    options=options, cost=cost)
+
+
+def _ranking_key(result):
+    return [(str(r.program), r.cost, r.cycles) for r in result.ranked]
+
+
+def test_worker_context_round_trips_evaluator():
+    bench = benchmark("p01")
+    generator = TestcaseGenerator(bench.o0, bench.spec,
+                                  bench.annotations, seed=0)
+    context = CampaignContext(
+        target=bench.o0, spec=bench.spec,
+        annotations=bench.annotations, config=CONFIG,
+        testcases=generator.generate(2), validator=None,
+        cost=REFERENCE)
+    restored = context_from_json(context_to_json(context))
+    assert restored.cost == REFERENCE
+    assert restored.cost.evaluator == "reference"
+    # the wire format is the spec string, stable under json transport
+    wire = json.loads(json.dumps(context_to_json(context)))
+    assert wire["cost"] == "correctness,latency,evaluator=reference"
+
+
+def test_evaluator_choice_does_not_change_the_outcome():
+    compiled = _campaign(EngineOptions(jobs=1)).run()
+    reference = _campaign(EngineOptions(jobs=1), cost=REFERENCE).run()
+    assert _ranking_key(compiled) == _ranking_key(reference)
+    assert str(compiled.rewrite) == str(reference.rewrite)
+    assert compiled.rewrite_cycles == reference.rewrite_cycles
+
+
+@pytest.mark.parametrize("cost", [None, REFERENCE],
+                         ids=["compiled", "reference"])
+def test_jobs_two_matches_jobs_one_under_either_evaluator(cost):
+    serial = _campaign(EngineOptions(jobs=1), cost=cost).run()
+    pooled = _campaign(EngineOptions(jobs=2), cost=cost).run()
+    assert _ranking_key(serial) == _ranking_key(pooled)
+    assert str(serial.rewrite) == str(pooled.rewrite)
+
+
+def test_manifest_records_evaluator_and_resume_rejects_change(tmp_path):
+    run_dir = tmp_path / "run"
+    _campaign(EngineOptions(jobs=1, run_dir=run_dir),
+              cost=REFERENCE).run()
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    assert manifest["cost"] == "correctness,latency,evaluator=reference"
+    # resuming with the same spec is fine ...
+    _campaign(EngineOptions(jobs=1, run_dir=run_dir, resume=True),
+              cost=REFERENCE).run()
+    # ... but silently switching evaluators mid-run is not
+    with pytest.raises(EngineError, match="differs in cost"):
+        _campaign(EngineOptions(jobs=1, run_dir=run_dir,
+                                resume=True)).run()
