@@ -1,0 +1,131 @@
+"""Adaptive chain budgets: chains saved at unchanged answers.
+
+Runs the same multi-chain campaign per kernel twice — ``--budget
+fixed`` (every configured chain) and ``--budget adaptive:stable=K`` —
+and reports, per kernel, how many chains each scheduled and the best
+verified ranking both arrived at. The claim under test is the engine's
+adaptive-scheduling contract: measurably fewer chains scheduled, at an
+identical best (program, modeled cycles) ranking.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_campaign_adaptive.py \
+        --kernels p01 p03 p06 p14 --chains 6 --stable 2 \
+        --out BENCH_campaign_adaptive.json
+
+Kernels default to a quick quartet; pass ``--kernels`` with any subset
+of the suite (e.g. the full p01–p25 sweep) for the paper-scale
+version. Exits nonzero if adaptive saves no chains overall or if any
+kernel's best ranking degrades (the regression gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.engine.budget import BudgetSpec
+from repro.engine.campaign import Campaign, EngineOptions
+from repro.engine.serialize import program_key
+from repro.search.config import SearchConfig
+from repro.search.stoke import StokeResult
+from repro.suite.registry import benchmark as get_benchmark
+from repro.suite.runner import budget_scale
+from repro.verifier.validator import Validator
+
+DEFAULT_KERNELS = ("p01", "p03", "p06", "p14")
+
+
+def _config(kernel: str, chains: int, seed: int) -> SearchConfig:
+    bench = get_benchmark(kernel)
+    ell = min(50, max(8, len(bench.o0) + 4))
+    return SearchConfig(
+        ell=ell, beta=1.0, seed=seed,
+        optimization_proposals=int(4_000 * budget_scale()),
+        optimization_restarts=4,
+        optimization_chains=chains,
+        synthesis_chains=0,
+        testcase_count=8)
+
+
+def _run(kernel: str, chains: int, seed: int,
+         budget: str) -> StokeResult:
+    bench = get_benchmark(kernel)
+    campaign = Campaign(
+        bench.o0, bench.spec, bench.annotations,
+        config=_config(kernel, chains, seed),
+        validator=Validator(),
+        options=EngineOptions(budget=BudgetSpec.parse(budget)),
+        name=kernel)
+    return campaign.run()
+
+
+def _best(result: StokeResult) -> tuple[str, int]:
+    best = result.ranked[0]
+    return (program_key(best.program), best.cycles)
+
+
+def measure(kernel: str, chains: int, stable: int, seed: int) -> dict:
+    fixed = _run(kernel, chains, seed, "fixed")
+    adaptive = _run(kernel, chains, seed, f"adaptive:stable={stable}")
+    return {
+        "fixed_chains": fixed.chains_scheduled,
+        "adaptive_chains": adaptive.chains_scheduled,
+        "chains_saved": adaptive.chains_saved,
+        "fixed_best_cycles": _best(fixed)[1],
+        "adaptive_best_cycles": _best(adaptive)[1],
+        "best_ranking_equal": _best(fixed) == _best(adaptive),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kernels", nargs="+",
+                        default=list(DEFAULT_KERNELS))
+    parser.add_argument("--chains", type=int, default=6)
+    parser.add_argument("--stable", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--out", default="BENCH_campaign_adaptive.json")
+    args = parser.parse_args(argv)
+
+    report: dict = {"chains": args.chains, "stable": args.stable,
+                    "kernels": {}}
+    total_fixed = total_adaptive = 0
+    rankings_equal = True
+    for kernel in args.kernels:
+        row = measure(kernel, args.chains, args.stable, args.seed)
+        report["kernels"][kernel] = row
+        total_fixed += row["fixed_chains"]
+        total_adaptive += row["adaptive_chains"]
+        rankings_equal = rankings_equal and row["best_ranking_equal"]
+        verdict = "==" if row["best_ranking_equal"] else "!!"
+        print(f"{kernel:>6}: fixed {row['fixed_chains']} chains, "
+              f"adaptive {row['adaptive_chains']} "
+              f"({row['chains_saved']} saved)  best "
+              f"{row['fixed_best_cycles']} {verdict} "
+              f"{row['adaptive_best_cycles']} cycles")
+    saved = total_fixed - total_adaptive
+    fraction = saved / total_fixed if total_fixed else 0.0
+    report["total_fixed_chains"] = total_fixed
+    report["total_adaptive_chains"] = total_adaptive
+    report["total_chains_saved"] = saved
+    report["best_rankings_equal"] = rankings_equal
+    print(f"adaptive scheduled {total_adaptive}/{total_fixed} chains "
+          f"({saved} saved, {fraction:.0%}) at "
+          f"{'equal' if rankings_equal else 'DIFFERENT'} best rankings")
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+    if saved <= 0:
+        print("FAIL: adaptive budget saved no chains", file=sys.stderr)
+        return 1
+    if not rankings_equal:
+        print("FAIL: adaptive best ranking differs from fixed",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

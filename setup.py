@@ -2,7 +2,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-stoke",
-    version="1.2.0",
+    version="1.3.0",
     description=("Reproduction of 'Stochastic Superoptimization' "
                  "(Schkufza, Sharma, Aiken; ASPLOS 2013) with a "
                  "parallel, resumable search engine and a composable "

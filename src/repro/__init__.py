@@ -34,7 +34,7 @@ from repro.cost import (CostFunction, CostSpec, CostTerm, CostWeights,
                         Phase, TermContext, available_cost_terms,
                         make_cost_term, register_cost_term)
 from repro.emulator import Emulator, MachineState, Sandbox, run_program
-from repro.engine import Campaign, EngineOptions
+from repro.engine import BudgetSpec, Campaign, EngineOptions
 from repro.perfsim import actual_runtime, simulate_cycles
 from repro.search import (MCMCSampler, MoveGenerator, SearchConfig,
                           SearchStrategy, Stoke, StokeResult,
@@ -45,10 +45,10 @@ from repro.verifier import LiveSpec, ValidationResult, Validator
 from repro.x86 import (Instruction, Program, UNUSED, parse_instruction,
                        parse_program, program_latency)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
-    "Annotations", "Campaign", "CostFunction", "CostSpec", "CostTerm",
+    "Annotations", "BudgetSpec", "Campaign", "CostFunction", "CostSpec", "CostTerm",
     "CostWeights", "Emulator", "EngineOptions",
     "Instruction", "LiveSpec", "MCMCSampler", "MachineState",
     "MoveGenerator", "Phase", "Program", "Result", "Sandbox",

@@ -29,15 +29,18 @@ from repro.api.targets import Target, parse_registers
 from repro.cost.terms import (EVALUATORS, CostSpec, CostTerm,
                               TermContext, available_cost_terms,
                               make_cost_term, register_cost_term)
+from repro.engine.budget import (BudgetSpec, available_budgets,
+                                 register_budget)
 from repro.engine.campaign import EngineOptions
 from repro.search.config import SearchConfig
 from repro.search.strategies import (SearchStrategy, StrategySpec,
                                      available_strategies, make_strategy,
                                      register_strategy)
 
-__all__ = ["CostSpec", "CostTerm", "EVALUATORS", "EngineOptions",
-           "Result", "SearchConfig", "SearchStrategy", "Session",
-           "StrategySpec", "Target", "TermContext",
-           "available_cost_terms", "available_strategies",
-           "make_cost_term", "make_strategy", "parse_registers",
-           "register_cost_term", "register_strategy"]
+__all__ = ["BudgetSpec", "CostSpec", "CostTerm", "EVALUATORS",
+           "EngineOptions", "Result", "SearchConfig", "SearchStrategy",
+           "Session", "StrategySpec", "Target", "TermContext",
+           "available_budgets", "available_cost_terms",
+           "available_strategies", "make_cost_term", "make_strategy",
+           "parse_registers", "register_budget", "register_cost_term",
+           "register_strategy"]

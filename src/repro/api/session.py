@@ -51,6 +51,9 @@ class Result:
     proposals_per_second: float
     testcases_per_proposal: float
     stoke: StokeResult = field(repr=False)
+    budget: str = "fixed"
+    chains_scheduled: int = 0
+    chains_saved: int = 0
 
     @property
     def improved(self) -> bool:
@@ -69,6 +72,9 @@ class Result:
             "seconds": round(self.seconds, 3),
             "cost": self.cost,
             "strategy": self.strategy,
+            "budget": self.budget,
+            "chains_scheduled": self.chains_scheduled,
+            "chains_saved": self.chains_saved,
             "proposals_per_second": round(self.proposals_per_second, 1),
             "testcases_per_proposal":
                 round(self.testcases_per_proposal, 3),
@@ -91,7 +97,9 @@ class Session:
             name like ``"greedy"``, or None for the paper's MCMC.
         validator: sound validator for candidate promotion; defaults to
             a fresh :class:`Validator`, pass None to skip validation.
-        engine: worker count and checkpoint options.
+        engine: execution options — worker count, checkpoint
+            directory, chain budget (``fixed`` / ``adaptive:stable=K``),
+            and a live progress listener.
         evaluator: how candidates execute in the inner loop —
             ``"compiled"`` (default) or ``"reference"``; overrides any
             ``evaluator=`` token in the cost spec. Results are
@@ -116,10 +124,12 @@ class Session:
 
     def run(self) -> Result:
         """Execute the campaign and wrap its outcome."""
+        options = self.engine or EngineOptions()
         campaign = Campaign(
             self.target.program, self.target.spec, self.target.annotations,
             config=self.config, validator=self.validator,
-            options=self.engine, cost=self.cost, strategy=self.strategy)
+            options=options, cost=self.cost, strategy=self.strategy,
+            name=self.target.name)
         outcome = campaign.run()
         return Result(
             name=self.target.name,
@@ -136,4 +146,7 @@ class Session:
             proposals_per_second=outcome.proposals_per_second,
             testcases_per_proposal=outcome.testcases_per_proposal,
             stoke=outcome,
+            budget=campaign.budget.spec_string(),
+            chains_scheduled=outcome.chains_scheduled,
+            chains_saved=outcome.chains_saved,
         )

@@ -12,6 +12,8 @@ Usage::
     python -m repro.cli validate p01              # prove gcc == o0
     python -m repro.cli speedups p01 p03 p06      # Figure 10 rows
     python -m repro.cli engine campaign --jobs 8 --run-dir runs/sweep
+    python -m repro.cli engine campaign --jobs 8 --chains 8 \\
+        --budget adaptive:stable=2 --progress
 
 (Installed as the ``repro`` console script.)
 """
@@ -26,13 +28,15 @@ from pathlib import Path
 from repro.api.session import Result, Session
 from repro.api.targets import Target
 from repro.cost.terms import EVALUATORS, available_cost_terms
+from repro.engine.budget import BudgetSpec, available_budgets
 from repro.engine.campaign import EngineOptions
+from repro.engine.events import format_event
 from repro.errors import ReproError
 from repro.perfsim.model import actual_runtime
 from repro.search.config import SearchConfig
 from repro.search.strategies import available_strategies
 from repro.suite.registry import all_benchmarks, benchmark
-from repro.suite.runner import evaluate_benchmark
+from repro.suite.runner import evaluate_benchmark, format_rate
 from repro.verifier.validator import Validator
 from repro.x86.latency import program_latency
 
@@ -72,9 +76,21 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_listener(args: argparse.Namespace):
+    """The stderr event printer behind ``--progress`` (None if unset)."""
+    if not getattr(args, "progress", False):
+        return None
+
+    def listener(event):
+        print(format_event(event), file=sys.stderr, flush=True)
+    return listener
+
+
 def _engine_options(args: argparse.Namespace) -> EngineOptions:
     return EngineOptions(jobs=args.jobs, run_dir=args.run_dir,
-                         resume=args.resume)
+                         resume=args.resume,
+                         budget=BudgetSpec.parse(args.budget),
+                         progress=_progress_listener(args))
 
 
 def _search_config(args: argparse.Namespace,
@@ -157,6 +173,8 @@ def _cmd_engine_campaign(args: argparse.Namespace) -> int:
         return 2
     names = args.kernels or [b.name for b in all_benchmarks()]
     base_dir = Path(args.run_dir) if args.run_dir else None
+    budget = BudgetSpec.parse(args.budget)
+    progress = _progress_listener(args)
     rows = []
     for index, name in enumerate(names):
         bench = benchmark(name)
@@ -166,9 +184,11 @@ def _cmd_engine_campaign(args: argparse.Namespace) -> int:
         resume = (args.resume and run_dir is not None and
                   CheckpointStore(run_dir).has_manifest())
         options = EngineOptions(jobs=args.jobs, run_dir=run_dir,
-                                resume=resume)
+                                resume=resume, budget=budget,
+                                progress=progress)
         outcome = evaluate_benchmark(bench, seed=args.seed + index,
                                      synthesis=args.synthesis,
+                                     chains=args.chains,
                                      engine=options,
                                      evaluator=args.evaluator)
         rows.append(outcome)
@@ -178,9 +198,13 @@ def _cmd_engine_campaign(args: argparse.Namespace) -> int:
                 len(rows)) if rows else 0.0
     mean_tpp = (sum(row.testcases_per_proposal for row in rows) /
                 len(rows)) if rows else 0.0
+    scheduled = sum(row.chains_scheduled for row in rows)
+    saved = sum(row.chains_saved for row in rows)
     print(f"campaign done: {improved}/{len(rows)} kernels improved "
-          f"(jobs={args.jobs}, {mean_pps:,.0f} proposals/s, "
-          f"{mean_tpp:.2f} testcases/proposal)")
+          f"(jobs={args.jobs}, budget={budget.spec_string()}, "
+          f"{format_rate(mean_pps)} proposals/s, "
+          f"{mean_tpp:.2f} testcases/proposal, "
+          f"{scheduled} chains scheduled, {saved} saved)")
     return 0
 
 
@@ -242,6 +266,13 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--evaluator", default=None, choices=sorted(EVALUATORS),
         help="inner-loop candidate evaluator (default: compiled)")
+    campaign.add_argument(
+        "--progress", action="store_true",
+        help="stream live per-chain progress events to stderr")
+    campaign.add_argument(
+        "--chains", type=int, default=1,
+        help="optimization chains per kernel (adaptive budgets may "
+             "schedule fewer)")
     _add_engine_arguments(campaign)
     campaign.set_defaults(fn=_cmd_engine_campaign)
     return parser
@@ -281,6 +312,12 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         help="checkpoint directory for this run")
     parser.add_argument("--resume", action="store_true",
                         help="resume a journaled run from --run-dir")
+    parser.add_argument(
+        "--budget", default="fixed", metavar="SPEC",
+        help="chain budget: fixed (run every configured chain) or "
+             "adaptive:stable=K (stop a kernel once its best ranking "
+             "is unchanged for K chains) "
+             f"(available: {', '.join(available_budgets())})")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,26 +1,39 @@
 """Parallel search engine: multi-process chain orchestration.
 
-Decomposes a search into independent chain jobs (scheduler), runs them
-serially or across a process pool (executor/worker), journals completed
-jobs for checkpoint/resume (checkpoint), and merges chain outputs into
-one deterministic verdict (aggregator). :class:`Campaign` ties the
-pieces together; ``Stoke.run()`` sits on top of it.
+Decomposes a search into independent chain jobs (scheduler — an
+incremental, one-chain-at-a-time source), runs them serially or across
+a process pool (executor/worker), merges chain outputs into one
+deterministic verdict and running partial rankings (aggregator),
+journals completed jobs for checkpoint/resume (checkpoint), decides
+when a kernel has had enough chains (budget), and streams versioned
+progress events for live consumers (events). :class:`Campaign` ties
+the pieces together; :class:`repro.api.session.Session` — and the
+legacy ``Stoke`` facade through it — sits on top.
 """
 
-from repro.engine.aggregator import (dedup_programs, final_ranking,
-                                     merge_testcases, synthesis_starts)
+from repro.engine.aggregator import (best_signature, dedup_programs,
+                                     final_ranking, merge_testcases,
+                                     synthesis_starts)
+from repro.engine.budget import (BudgetSpec, StoppingRule,
+                                 available_budgets, register_budget)
 from repro.engine.campaign import Campaign, EngineOptions
 from repro.engine.checkpoint import CheckpointStore
+from repro.engine.events import (EventLog, ProgressEvent, format_event,
+                                 read_events)
 from repro.engine.executor import (ProcessPoolExecutor, SerialExecutor,
                                    make_executor)
 from repro.engine.jobs import (ChainJob, JobResult, OPTIMIZATION,
                                SYNTHESIS)
-from repro.engine.scheduler import optimization_jobs, synthesis_jobs
+from repro.engine.scheduler import (optimization_jobs,
+                                    optimization_rounds, synthesis_jobs)
 from repro.engine.worker import CampaignContext, run_chain_job
 
-__all__ = ["Campaign", "CampaignContext", "ChainJob", "CheckpointStore",
-           "EngineOptions", "JobResult", "OPTIMIZATION",
-           "ProcessPoolExecutor", "SYNTHESIS", "SerialExecutor",
-           "dedup_programs", "final_ranking", "make_executor",
-           "merge_testcases", "optimization_jobs", "run_chain_job",
-           "synthesis_jobs", "synthesis_starts"]
+__all__ = ["BudgetSpec", "Campaign", "CampaignContext", "ChainJob",
+           "CheckpointStore", "EngineOptions", "EventLog", "JobResult",
+           "OPTIMIZATION", "ProcessPoolExecutor", "ProgressEvent",
+           "SYNTHESIS", "SerialExecutor", "StoppingRule",
+           "available_budgets", "best_signature", "dedup_programs",
+           "final_ranking", "format_event", "make_executor",
+           "merge_testcases", "optimization_jobs",
+           "optimization_rounds", "read_events", "register_budget",
+           "run_chain_job", "synthesis_jobs", "synthesis_starts"]

@@ -9,6 +9,12 @@ The final candidate costs are recomputed here on the campaign-wide
 merged testcase suite (base testcases plus every counterexample any
 chain discovered), mirroring the serial pipeline, which re-scored its
 survivors on the refined suite before re-ranking.
+
+The same machinery also runs *during* a campaign: after each completed
+chain the adaptive budget asks for the running ranking's
+:func:`best_signature`, and the progress stream publishes it as a
+partial aggregate — the final ranking is just the last of these, over
+every result.
 """
 
 from __future__ import annotations
@@ -83,6 +89,23 @@ def final_ranking(target: Program, config: SearchConfig,
                   for program in pool]
     candidates.append((_cost(cost_fn, target), target))
     return rerank(candidates, window=config.rank_window)
+
+
+def best_signature(target: Program, config: SearchConfig,
+                   testcases: list[Testcase],
+                   results: list[JobResult], *,
+                   cost: CostSpec | None = None) -> tuple[str, int]:
+    """The running ranking's head, as a stability signature.
+
+    The signature is (best program key, modeled cycles). Cost is
+    deliberately excluded: the merged suite grows as chains land, so a
+    cost value can shift under an unchanged best program — which is
+    churn in the score, not in the ranking the user receives.
+    """
+    ranked = final_ranking(target, config, testcases, results,
+                           cost=cost)
+    best = ranked[0]        # final_ranking always admits the target
+    return (program_key(best.program), best.cycles)
 
 
 def _cost(cost_fn: CostFunction, program: Program) -> int:

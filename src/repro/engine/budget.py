@@ -1,0 +1,211 @@
+"""Chain budgets: pluggable stopping rules for campaign scheduling.
+
+The paper ran every kernel with a fixed chain allocation on a large
+cluster. Most kernels do not need it: their best verified rewrite stops
+changing after a handful of chains, and every further chain is wasted
+work. A :class:`BudgetSpec` names the stopping rule a campaign
+schedules chains under:
+
+===========================  =============================================
+``fixed``                    run every configured chain (the default;
+                             bit-identical to the pre-budget engine)
+``adaptive:stable=K``        stop scheduling new chains once the best
+                             verified ranking has been unchanged for K
+                             consecutive completed chains
+===========================  =============================================
+
+Like cost terms and search strategies, budgets are resolved by name
+from a registry, so the spec travels through CLI flags (``--budget``)
+and checkpoint manifests (the v3 ``budget`` field) — a resumed campaign
+rejects a changed stopping rule rather than silently re-deciding which
+chains to run. New rules are added with :func:`register_budget`.
+
+The rule itself is a small state machine: the campaign feeds it the
+running best-ranking *signature* after each completed chain
+(:meth:`StoppingRule.observe`) and asks :meth:`StoppingRule.should_stop`
+before scheduling the next one. Rules whose ``incremental`` flag is
+False never need feedback, so the campaign submits the whole plan up
+front — exactly the pre-budget execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import RegistryError, unknown_name_message
+
+DEFAULT_STABLE_CHAINS = 2
+
+# The ranking signature a rule observes: (best program key, modeled
+# cycles). Cost is deliberately excluded — the merged testcase suite
+# grows as chains complete, so cost values can shift under a program
+# whose identity (and therefore the ranking) is unchanged.
+Signature = tuple[str, int]
+
+
+class StoppingRule:
+    """When to stop scheduling chains for one kernel.
+
+    Attributes:
+        incremental: True if the rule needs per-chain ranking feedback;
+            False lets the campaign submit its full plan in one wave.
+    """
+
+    incremental: bool = False
+
+    def observe(self, signature: Signature) -> None:
+        """Record the running best ranking after one completed chain."""
+
+    def should_stop(self) -> bool:
+        """True once further chains are judged not worth scheduling."""
+        return False
+
+    @property
+    def stable_chains(self) -> int:
+        """Consecutive completed chains with an unchanged best ranking."""
+        return 0
+
+
+class FixedRule(StoppingRule):
+    """Run every configured chain; never stop early."""
+
+    incremental = False
+
+
+class StableRule(StoppingRule):
+    """Stop after ``stable`` consecutive chains without a ranking change.
+
+    The first completed chain establishes the signature; each further
+    chain that leaves the best (program, cycles) pair unchanged grows
+    the streak, and any change resets it. Decisions depend only on the
+    plan-order sequence of signatures, so adaptive campaigns stay
+    deterministic at any worker count.
+    """
+
+    incremental = True
+
+    def __init__(self, stable: int) -> None:
+        if stable < 1:
+            raise RegistryError(
+                f"adaptive budget needs stable >= 1, got {stable}")
+        self.stable = stable
+        self._last: Signature | None = None
+        self._streak = 0
+
+    def observe(self, signature: Signature) -> None:
+        if self._last is not None and signature == self._last:
+            self._streak += 1
+        else:
+            self._streak = 0
+        self._last = signature
+
+    def should_stop(self) -> bool:
+        return self._streak >= self.stable
+
+    @property
+    def stable_chains(self) -> int:
+        return self._streak
+
+
+# -- the registry -------------------------------------------------------------
+
+RuleFactory = Callable[["BudgetSpec"], StoppingRule]
+
+_BUDGETS: dict[str, RuleFactory] = {}
+
+
+def register_budget(name: str, factory: RuleFactory, *,
+                    replace: bool = False) -> None:
+    """Register a stopping-rule factory under a spec key.
+
+    The factory receives the parsed :class:`BudgetSpec` (for its
+    parameters) and must return a fresh rule. Like custom cost terms,
+    custom budgets must be registered in every process that plans
+    campaigns — though budgets only run in the orchestrating process,
+    never in workers.
+    """
+    if not replace and name in _BUDGETS:
+        raise RegistryError(f"budget {name!r} is already registered "
+                            "(pass replace=True to override)")
+    _BUDGETS[name] = factory
+
+
+def available_budgets() -> list[str]:
+    return sorted(_BUDGETS)
+
+
+register_budget("fixed", lambda spec: FixedRule())
+register_budget("adaptive", lambda spec: StableRule(spec.stable))
+
+
+# -- the spec -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """A stopping rule by name — the serializable flag/manifest form.
+
+    Attributes:
+        kind: registry key (``fixed`` or ``adaptive``).
+        stable: the K of ``adaptive:stable=K``; ignored by ``fixed``.
+    """
+
+    kind: str = "fixed"
+    stable: int = DEFAULT_STABLE_CHAINS
+
+    def __post_init__(self) -> None:
+        if self.kind not in _BUDGETS:
+            raise RegistryError(
+                unknown_name_message("budget", self.kind, _BUDGETS))
+        if self.stable < 1:
+            raise RegistryError(
+                f"budget parameter stable must be >= 1, got {self.stable}")
+
+    @classmethod
+    def parse(cls, text: str | BudgetSpec | None) -> BudgetSpec:
+        """Parse ``"fixed"`` or ``"adaptive[:stable=K]"``.
+
+        Names and parameters are validated immediately so a typo fails
+        at the flag, not at the end of the first chain.
+        """
+        if text is None:
+            return cls()
+        if isinstance(text, BudgetSpec):
+            return text
+        kind, _, param_text = text.strip().partition(":")
+        kind = kind.strip()
+        if kind not in _BUDGETS:
+            raise RegistryError(
+                unknown_name_message("budget", kind, _BUDGETS))
+        if kind == "fixed" and param_text.strip():
+            raise RegistryError(
+                f"budget 'fixed' takes no parameters, got "
+                f"{param_text.strip()!r} (did you mean "
+                f"adaptive:{param_text.strip()}?)")
+        stable = DEFAULT_STABLE_CHAINS
+        for part in param_text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value_text = part.partition("=")
+            if key.strip() != "stable" or not sep:
+                raise RegistryError(
+                    f"bad budget parameter {part!r} "
+                    f"(expected stable=K)")
+            try:
+                stable = int(value_text.strip())
+            except ValueError:
+                raise RegistryError(
+                    f"bad budget parameter value {value_text!r} "
+                    f"(stable needs an integer)") from None
+        return cls(kind=kind, stable=stable)
+
+    def spec_string(self) -> str:
+        """The canonical flag/manifest form (defaults are implicit)."""
+        if self.kind == "fixed":
+            return "fixed"
+        return f"{self.kind}:stable={self.stable}"
+
+    def rule(self) -> StoppingRule:
+        """A fresh stopping rule for one campaign."""
+        return _BUDGETS[self.kind](self)

@@ -4,24 +4,38 @@ A campaign runs the Figure 9 pipeline as two waves of independent jobs:
 
 1. every synthesis chain (the verified survivors, plus the target,
    become the optimization starting points), then
-2. every optimization chain over every start.
+2. optimization chains over every start — scheduled incrementally, one
+   chain at a time, so the campaign's stopping rule
+   (:mod:`repro.engine.budget`) can stop a kernel whose best verified
+   ranking has stabilized instead of burning its whole allocation.
 
 Each completed job is journaled before the next result is awaited, so
 an interrupted campaign resumed with the same run directory re-runs
-only the missing chains — and, because jobs are independent and results
-are aggregated in plan order, finishes with results identical to an
-uninterrupted run at any worker count.
+only the missing chains — and, because jobs are independent, results
+are aggregated in plan order, and stopping decisions depend only on
+that plan-order sequence, a campaign finishes with results identical
+to an uninterrupted run at any worker count.
+
+Progress is streamed as versioned events (:mod:`repro.engine.events`):
+to ``<run_dir>/events.jsonl`` when checkpointing, and to the
+``EngineOptions.progress`` listener live — the partial aggregates a
+multi-host scheduler (or ``--progress``) consumes.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.cost.terms import CostSpec
-from repro.engine import aggregator, scheduler, serialize, worker
+from repro.engine import aggregator, scheduler, serialize
+from repro.engine.budget import BudgetSpec
 from repro.engine.checkpoint import CheckpointStore
+from repro.engine.events import (CAMPAIGN_FINISHED, CAMPAIGN_STARTED,
+                                 CHAIN_COMPLETED, EventLog,
+                                 KERNEL_STOPPED, ProgressListener,
+                                 RANKING_UPDATED)
 from repro.engine.executor import Executor, make_executor
 from repro.engine.jobs import ChainJob, JobResult, result_from_json
 from repro.engine.serialize import Json
@@ -47,17 +61,28 @@ class EngineOptions:
         run_dir: checkpoint directory; None disables checkpointing.
         resume: continue a journaled campaign instead of starting
             fresh (requires ``run_dir``).
+        budget: chain-scheduling stopping rule — a
+            :class:`~repro.engine.budget.BudgetSpec` or its spec string
+            (``"fixed"``, ``"adaptive:stable=K"``). The default
+            ``fixed`` runs every configured chain, bit-identical to
+            the pre-budget engine.
+        progress: optional live listener for campaign progress events;
+            also streamed to ``<run_dir>/events.jsonl`` when
+            checkpointing.
     """
 
     jobs: int = 1
     run_dir: str | Path | None = None
     resume: bool = False
+    budget: BudgetSpec | str = field(default_factory=BudgetSpec)
+    progress: ProgressListener | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise EngineError("jobs must be at least 1")
         if self.resume and self.run_dir is None:
             raise EngineError("--resume requires a run directory")
+        object.__setattr__(self, "budget", BudgetSpec.parse(self.budget))
 
 
 class Campaign:
@@ -68,7 +93,8 @@ class Campaign:
                  validator: Validator | None,
                  options: EngineOptions | None = None,
                  cost: CostSpec | None = None,
-                 strategy: StrategySpec | None = None) -> None:
+                 strategy: StrategySpec | None = None,
+                 name: str = "target") -> None:
         self.target = target
         self.spec = spec
         self.annotations = annotations
@@ -77,6 +103,13 @@ class Campaign:
         self.options = options or EngineOptions()
         self.cost = cost if cost is not None else CostSpec()
         self.strategy = strategy if strategy is not None else StrategySpec()
+        self.name = name
+
+    @property
+    def budget(self) -> BudgetSpec:
+        spec = self.options.budget
+        assert isinstance(spec, BudgetSpec)    # normalized in options
+        return spec
 
     def run(self) -> StokeResult:
         """Execute (or finish) the campaign and aggregate the result."""
@@ -84,6 +117,17 @@ class Campaign:
         store = (CheckpointStore(self.options.run_dir)
                  if self.options.run_dir is not None else None)
         testcases, completed = self._initial_state(store)
+        events = EventLog(
+            path=(None if store is None
+                  else store.run_dir / "events.jsonl"),
+            listener=self.options.progress,
+            append=self.options.resume)
+        chains_planned = (self.config.synthesis_chains +
+                          self.config.optimization_chains)
+        events.emit(CAMPAIGN_STARTED, self.name,
+                    budget=self.budget.spec_string(),
+                    jobs=self.options.jobs,
+                    chains_planned=chains_planned)
         context = CampaignContext(
             target=self.target, spec=self.spec,
             annotations=self.annotations, config=self.config,
@@ -94,15 +138,16 @@ class Campaign:
             synth_start = time.perf_counter()
             synth_plan = scheduler.synthesis_jobs(self.config)
             synth_results = self._run_wave(executor, synth_plan,
-                                           completed, store)
+                                           completed, store, events)
             synthesis_seconds = time.perf_counter() - synth_start
 
             starts = aggregator.synthesis_starts(self.target,
                                                  synth_results)
             opt_start = time.perf_counter()
-            opt_plan = scheduler.optimization_jobs(self.config, starts)
-            opt_results = self._run_wave(executor, opt_plan,
-                                         completed, store)
+            opt_results, opt_chains, stopped_early = \
+                self._run_optimization(executor, starts, testcases,
+                                       synth_results, completed, store,
+                                       events)
             optimization_seconds = time.perf_counter() - opt_start
         except BaseException:
             # don't block an error or Ctrl-C on queued chains; the
@@ -111,6 +156,13 @@ class Campaign:
             raise
         else:
             executor.close()
+
+        chains_scheduled = self.config.synthesis_chains + opt_chains
+        chains_saved = chains_planned - chains_scheduled
+        events.emit(KERNEL_STOPPED, self.name,
+                    reason="stable" if stopped_early else "exhausted",
+                    chains_scheduled=chains_scheduled,
+                    chains_saved=chains_saved)
 
         merged = aggregator.merge_testcases(
             testcases, synth_results + opt_results)
@@ -125,7 +177,7 @@ class Campaign:
             if best.cycles <= target_cycles:
                 rewrite = best.program.compact()
                 rewrite_cycles = best.cycles
-        return StokeResult(
+        result = StokeResult(
             target=self.target,
             rewrite=rewrite,
             verified=rewrite is not None,
@@ -138,7 +190,14 @@ class Campaign:
             seconds=time.perf_counter() - start_time,
             synthesis_seconds=synthesis_seconds,
             optimization_seconds=optimization_seconds,
+            chains_scheduled=chains_scheduled,
+            chains_saved=chains_saved,
         )
+        events.emit(CAMPAIGN_FINISHED, self.name,
+                    verified=result.verified,
+                    rewrite_cycles=result.rewrite_cycles,
+                    speedup=round(result.speedup, 4))
+        return result
 
     # -- run state ------------------------------------------------------------
 
@@ -151,6 +210,7 @@ class Campaign:
             "config": serialize.config_to_json(self.config),
             "cost": self.cost.spec_string(),
             "strategy": self.strategy.spec_string(),
+            "budget": self.budget.spec_string(),
         }
 
     def _initial_state(self, store: CheckpointStore | None) \
@@ -178,16 +238,76 @@ class Campaign:
             store.start_fresh(manifest)
         return testcases, {}
 
-    @staticmethod
-    def _run_wave(executor: Executor, plan: list[ChainJob],
+    # -- scheduling -----------------------------------------------------------
+
+    def _run_optimization(self, executor: Executor,
+                          starts: list[Program],
+                          testcases: list[Testcase],
+                          synth_results: list[JobResult],
+                          completed: dict[str, Json],
+                          store: CheckpointStore | None,
+                          events: EventLog) \
+            -> tuple[list[JobResult], int, bool]:
+        """The optimization wave, scheduled under the budget's rule.
+
+        Returns (results in plan order, chains scheduled, stopped
+        early). A non-incremental rule (``fixed``) submits the whole
+        plan as one wave — exactly the pre-budget engine. An
+        incremental rule consumes the round generator chain by chain,
+        observing the running best ranking after each; because that
+        sequence is in plan order, the rule trips at the same chain at
+        any worker count.
+
+        Two deliberate costs of determinism: each round is a barrier,
+        so an incremental rule keeps at most ``len(starts)`` jobs in
+        flight (with one start, an adaptive campaign runs chains
+        serially — the saving is chains never run, not per-chain
+        parallelism), and the running ranking is recomputed from
+        scratch per round (cheap relative to a chain: one re-score of
+        a small survivor pool vs thousands of proposals).
+        """
+        rounds = scheduler.optimization_rounds(self.config, starts)
+        rule = self.budget.rule()
+        if not rule.incremental:
+            plan = [job for round_jobs in rounds for job in round_jobs]
+            results = self._run_wave(executor, plan, completed, store,
+                                     events)
+            return results, self.config.optimization_chains, False
+        results: list[JobResult] = []
+        chains_run = 0
+        for round_jobs in rounds:
+            results.extend(self._run_wave(executor, round_jobs,
+                                          completed, store, events))
+            chains_run += 1
+            merged = aggregator.merge_testcases(
+                testcases, synth_results + results)
+            signature = aggregator.best_signature(
+                self.target, self.config, merged, results,
+                cost=self.cost)
+            rule.observe(signature)
+            events.emit(RANKING_UPDATED, self.name,
+                        chains_completed=chains_run,
+                        best_cycles=signature[1],
+                        stable_chains=rule.stable_chains)
+            if rule.should_stop():
+                return results, chains_run, True
+        return results, chains_run, False
+
+    def _run_wave(self, executor: Executor, plan: list[ChainJob],
                   completed: dict[str, Json],
-                  store: CheckpointStore | None) -> list[JobResult]:
+                  store: CheckpointStore | None,
+                  events: EventLog) -> list[JobResult]:
         """Run a wave's pending jobs; return results in plan order."""
         pending = [job for job in plan if job.job_id not in completed]
         for payload in executor.run(pending):
             completed[payload["job_id"]] = payload
             if store is not None:
                 store.record(payload)
+            events.emit(CHAIN_COMPLETED, self.name,
+                        job_id=payload["job_id"],
+                        kind=payload["kind"],
+                        verified=len(payload["verified"]),
+                        new_testcases=len(payload["new_testcases"]))
         missing = [job.job_id for job in plan
                    if job.job_id not in completed]
         if missing:

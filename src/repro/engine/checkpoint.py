@@ -4,6 +4,7 @@ Layout::
 
     <run_dir>/manifest.json   campaign fingerprint + frozen testcases
     <run_dir>/jobs.jsonl      one line per completed job result
+    <run_dir>/events.jsonl    campaign progress stream (diagnostics)
 
 The manifest freezes everything job results depend on — target, spec,
 annotations, config, and the generated base testcases — so a resumed
@@ -11,6 +12,24 @@ campaign provably replays the same search, and resuming against a
 different campaign is rejected instead of silently mixing results. The
 journal is append-only and flushed per record; a half-written final
 line (the interrupt case) is discarded on load and that job re-runs.
+
+Manifest versions (any mismatch rejects the resume):
+
+* **v1** (PR 1): ``target``, ``spec``, ``annotations``, ``config``,
+  ``testcases``.
+* **v2** (PR 2): adds ``cost`` and ``strategy`` — the cost-spec string
+  (which since PR 3 also carries the ``evaluator=`` choice) and the
+  strategy name, so a resume cannot silently re-search under different
+  machinery.
+* **v3** (this PR): adds ``budget`` — the stopping-rule spec string
+  (``fixed`` or ``adaptive:stable=K``). An adaptive campaign's journal
+  contains only the chains its rule actually scheduled; resuming it
+  under a different rule would re-decide which chains exist, so a
+  changed budget is rejected like any other fingerprint field.
+
+A run directory may also hold ``events.jsonl``, the campaign progress
+stream (:mod:`repro.engine.events`). It is diagnostic output, not
+resume state: the fingerprint never covers it.
 """
 
 from __future__ import annotations
@@ -19,13 +38,13 @@ import json
 import os
 from pathlib import Path
 
-from repro.engine.serialize import Json, require_fields
+from repro.engine.serialize import Json, read_jsonl, require_fields
 from repro.errors import EngineError
 
-MANIFEST_VERSION = 2
+MANIFEST_VERSION = 3
 
 _FINGERPRINT_FIELDS = ("target", "spec", "annotations", "config",
-                       "cost", "strategy")
+                       "cost", "strategy", "budget")
 
 
 class CheckpointStore:
@@ -92,21 +111,8 @@ class CheckpointStore:
         A torn trailing line is dropped; a torn line anywhere else
         means the journal was edited by hand and is an error.
         """
-        if not self.journal_path.exists():
-            return {}
-        lines = self.journal_path.read_text().splitlines()
         results: dict[str, Json] = {}
-        for index, line in enumerate(lines):
-            if not line.strip():
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError:
-                if index == len(lines) - 1:
-                    break           # interrupted mid-append
-                raise EngineError(
-                    f"corrupt journal line {index + 1} in "
-                    f"{self.journal_path}")
+        for payload in read_jsonl(self.journal_path, "journal"):
             if "job_id" not in payload:
                 raise EngineError(
                     f"journal record without job_id in "

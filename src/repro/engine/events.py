@@ -1,0 +1,177 @@
+"""Versioned campaign progress stream: partial aggregates as JSONL.
+
+A campaign that stays silent until its job pool drains is unusable for
+long sweeps, and the stopping rules of :mod:`repro.engine.budget` need
+running rankings anyway. This module gives those partial aggregates a
+wire format: every state change of a campaign is a
+:class:`ProgressEvent`, appended as one JSON line to
+``<run_dir>/events.jsonl`` and (optionally) handed to a live listener —
+the mechanism behind ``repro engine campaign --progress``.
+
+The record format is versioned (``"v"``) independently of the
+checkpoint manifest, because the stream is meant to outgrow this
+process: a multi-host scheduler can follow a worker's event file (or a
+socket carrying the same records) without parsing its journal. Readers
+must reject records whose version they do not know.
+
+Event types, in the order a campaign emits them::
+
+    campaign-started    budget spec, worker count, planned chains
+    chain-completed     one chain job finished (id, kind, counts)
+    ranking-updated     running best ranking after a completed chain
+    kernel-stopped      no more chains will be scheduled (reason)
+    campaign-finished   final verdict (verified, cycles, speedup)
+
+Like the checkpoint journal, the file is append-only, flushed per
+record, and a torn trailing line (the interrupt case) is dropped on
+read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.engine.serialize import Json, read_jsonl, require_fields
+from repro.errors import EngineError
+
+EVENT_STREAM_VERSION = 1
+
+CAMPAIGN_STARTED = "campaign-started"
+CHAIN_COMPLETED = "chain-completed"
+RANKING_UPDATED = "ranking-updated"
+KERNEL_STOPPED = "kernel-stopped"
+CAMPAIGN_FINISHED = "campaign-finished"
+
+EVENT_TYPES = frozenset({CAMPAIGN_STARTED, CHAIN_COMPLETED,
+                         RANKING_UPDATED, KERNEL_STOPPED,
+                         CAMPAIGN_FINISHED})
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One record of the campaign progress stream.
+
+    Attributes:
+        event: one of the ``EVENT_TYPES`` constants.
+        kernel: the campaign's target label (``Target.name``).
+        seq: 0-based position in this campaign's stream.
+        data: event-specific payload, plain JSON throughout.
+    """
+
+    event: str
+    kernel: str
+    seq: int
+    data: Json = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.event not in EVENT_TYPES:
+            raise EngineError(f"unknown progress event {self.event!r}")
+
+
+_EVENT_FIELDS = ("v", "event", "kernel", "seq", "data")
+
+
+def event_to_json(event: ProgressEvent) -> Json:
+    return {
+        "v": EVENT_STREAM_VERSION,
+        "event": event.event,
+        "kernel": event.kernel,
+        "seq": event.seq,
+        "data": dict(event.data),
+    }
+
+
+def event_from_json(data: Json) -> ProgressEvent:
+    require_fields(data, _EVENT_FIELDS, "progress event")
+    if data["v"] != EVENT_STREAM_VERSION:
+        raise EngineError(
+            f"progress event version {data['v']!r} is not "
+            f"{EVENT_STREAM_VERSION}; refusing to misread the stream")
+    return ProgressEvent(event=data["event"], kernel=data["kernel"],
+                         seq=data["seq"], data=dict(data["data"]))
+
+
+def format_event(event: ProgressEvent) -> str:
+    """One human-readable progress line (the ``--progress`` output)."""
+    data = event.data
+    if event.event == CAMPAIGN_STARTED:
+        return (f"[{event.kernel}] campaign started: "
+                f"budget={data.get('budget')} jobs={data.get('jobs')} "
+                f"chains<={data.get('chains_planned')}")
+    if event.event == CHAIN_COMPLETED:
+        return (f"[{event.kernel}] chain {data.get('job_id')} done "
+                f"({data.get('verified')} verified, "
+                f"{data.get('new_testcases')} new testcases)")
+    if event.event == RANKING_UPDATED:
+        return (f"[{event.kernel}] ranking after "
+                f"{data.get('chains_completed')} chains: best "
+                f"{data.get('best_cycles')} cycles "
+                f"(stable for {data.get('stable_chains')})")
+    if event.event == KERNEL_STOPPED:
+        return (f"[{event.kernel}] stopped ({data.get('reason')}): "
+                f"{data.get('chains_scheduled')} chains scheduled, "
+                f"{data.get('chains_saved')} saved")
+    assert event.event == CAMPAIGN_FINISHED
+    verdict = "verified" if data.get("verified") else "unimproved"
+    return (f"[{event.kernel}] finished {verdict}: "
+            f"{data.get('rewrite_cycles')} cycles "
+            f"({data.get('speedup')}x)")
+
+
+ProgressListener = Callable[[ProgressEvent], None]
+
+
+class EventLog:
+    """Appends progress events to disk and fans them out live.
+
+    Either sink is optional: with no path the stream is listener-only
+    (an un-checkpointed run with ``--progress``), with no listener it
+    is a silent journal for later consumers. Records are flushed per
+    append so a follower (``tail -f``, a remote scheduler) sees each
+    event the moment the campaign emits it.
+    """
+
+    def __init__(self, path: str | Path | None = None,
+                 listener: ProgressListener | None = None, *,
+                 append: bool = False) -> None:
+        self.path = None if path is None else Path(path)
+        self.listener = listener
+        self._seq = 0
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if append and self.path.exists():
+                # re-write the surviving records so a torn trailing
+                # line (an interrupted emit) is truncated rather than
+                # fused with the next append
+                survivors = read_events(self.path)
+                self.path.write_text("".join(
+                    json.dumps(event_to_json(event), sort_keys=True) + "\n"
+                    for event in survivors))
+                self._seq = len(survivors)
+            else:
+                self.path.write_text("")
+
+    def emit(self, event_type: str, kernel: str, **data) -> ProgressEvent:
+        """Record one event; returns it for callers that chain state."""
+        event = ProgressEvent(event=event_type, kernel=kernel,
+                              seq=self._seq, data=data)
+        self._seq += 1
+        if self.path is not None:
+            line = json.dumps(event_to_json(event), sort_keys=True)
+            with self.path.open("a") as stream:
+                stream.write(line + "\n")
+                stream.flush()
+                os.fsync(stream.fileno())
+        if self.listener is not None:
+            self.listener(event)
+        return event
+
+
+def read_events(path: str | Path) -> list[ProgressEvent]:
+    """Decode an event stream; a torn trailing line is dropped."""
+    return [event_from_json(payload)
+            for payload in read_jsonl(path, "event")]

@@ -7,6 +7,11 @@ order), so the campaign can journal each result the moment it exists.
 Payloads are identical regardless of executor — workers build them with
 the same code — which is what makes worker counts invisible in the
 final aggregate.
+
+``run()`` may be called repeatedly on one executor: an adaptive-budget
+campaign submits the optimization wave one chain round at a time, and
+the process pool persists across rounds so workers are not re-forked
+per chain.
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""Campaign planning: decompose a SearchConfig into independent jobs.
+"""Campaign planning: an incremental job source, one chain at a time.
 
 The decomposition mirrors the serial pipeline exactly — synthesis
 chains first, then one optimization chain per (chain index, starting
@@ -6,9 +6,19 @@ program) pair — including the per-job seed scheme, so a campaign with
 any worker count retraces the same chains the one-process pipeline
 would run. Job ids are stable functions of the plan position, which is
 what lets a resumed campaign skip exactly the chains it already ran.
+
+Since the adaptive-budget work the optimization wave is *generated*,
+not precomputed: :func:`optimization_rounds` yields one chain's jobs at
+a time so the campaign can consult its stopping rule between chains and
+simply stop consuming the generator once the ranking has stabilized.
+:func:`optimization_jobs` (the full plan, used by fixed budgets and
+tests) is defined as the concatenation of those rounds, so the two
+views can never disagree about ids or seeds.
 """
 
 from __future__ import annotations
+
+from typing import Iterator
 
 from repro.engine.jobs import ChainJob, OPTIMIZATION, SYNTHESIS
 from repro.search.config import SearchConfig
@@ -28,15 +38,34 @@ def synthesis_jobs(config: SearchConfig) -> list[ChainJob]:
     ]
 
 
+def optimization_round(config: SearchConfig, starts: list[Program],
+                       chain: int) -> list[ChainJob]:
+    """One optimization chain's jobs: chain ``chain`` over every start."""
+    jobs: list[ChainJob] = []
+    for index, start in enumerate(starts):
+        seed = (config.seed + OPTIMIZATION_SEED_BASE +
+                OPTIMIZATION_CHAIN_STRIDE * chain + index)
+        jobs.append(ChainJob(
+            job_id=f"opt-c{chain:03d}-s{index:03d}",
+            kind=OPTIMIZATION, seed=seed, start=start))
+    return jobs
+
+
+def optimization_rounds(config: SearchConfig,
+                        starts: list[Program]) \
+        -> Iterator[list[ChainJob]]:
+    """Generate the optimization wave chain by chain.
+
+    The campaign consumes rounds until its stopping rule trips (or the
+    configured chain count runs out); a round left ungenerated is a
+    chain never scheduled.
+    """
+    for chain in range(config.optimization_chains):
+        yield optimization_round(config, starts, chain)
+
+
 def optimization_jobs(config: SearchConfig,
                       starts: list[Program]) -> list[ChainJob]:
-    """Plan the optimization wave: chains x starting programs."""
-    plan: list[ChainJob] = []
-    for chain in range(config.optimization_chains):
-        for index, start in enumerate(starts):
-            seed = (config.seed + OPTIMIZATION_SEED_BASE +
-                    OPTIMIZATION_CHAIN_STRIDE * chain + index)
-            plan.append(ChainJob(
-                job_id=f"opt-c{chain:03d}-s{index:03d}",
-                kind=OPTIMIZATION, seed=seed, start=start))
-    return plan
+    """The full optimization plan: chains x starting programs."""
+    return [job for round_jobs in optimization_rounds(config, starts)
+            for job in round_jobs]

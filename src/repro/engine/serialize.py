@@ -10,10 +10,15 @@ from a live worker — the property the resume guarantee rests on.
 Programs are encoded slot by slot (``null`` marks an UNUSED padding
 token) because the assembly printer drops padding, and fixed-length
 rewrites must round-trip exactly.
+
+The campaign progress stream (:mod:`repro.engine.events`) shares this
+module's ``Json`` alias and :func:`require_fields` validation but
+versions its records independently of the checkpoint manifest.
 """
 
 from __future__ import annotations
 
+import json
 from typing import Any
 
 from repro.cost.correctness import CostWeights
@@ -233,3 +238,30 @@ def require_fields(data: Json, fields: tuple[str, ...],
     missing = [name for name in fields if name not in data]
     if missing:
         raise EngineError(f"corrupt {what}: missing {missing}")
+
+
+def read_jsonl(path, what: str) -> list[Json]:
+    """Decode an append-only JSONL file with torn-tail tolerance.
+
+    The shared policy of the job journal and the event stream: blank
+    lines are skipped, a torn *trailing* line (an interrupted append)
+    is silently dropped so that record re-runs, and a torn line
+    anywhere else means the file was edited by hand and is an error.
+    """
+    from pathlib import Path
+    path = Path(path)
+    if not path.exists():
+        return []
+    lines = path.read_text().splitlines()
+    records: list[Json] = []
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break               # interrupted mid-append
+            raise EngineError(
+                f"corrupt {what} line {index + 1} in {path}")
+    return records

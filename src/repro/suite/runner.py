@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.engine.campaign import EngineOptions
 from repro.perfsim.model import actual_runtime
 from repro.search.config import SearchConfig
-from repro.search.stoke import Stoke, StokeResult
+from repro.search.stoke import StokeResult
 from repro.suite.registry import Benchmark
 from repro.verifier.validator import Validator
 
@@ -25,7 +25,8 @@ def budget_scale() -> float:
 
 
 def search_config(bench: Benchmark, *, seed: int = 0,
-                  synthesis: bool = False) -> SearchConfig:
+                  synthesis: bool = False,
+                  chains: int = 1) -> SearchConfig:
     """A practical configuration for one benchmark.
 
     beta is raised above the paper's 0.1 because this reproduction uses
@@ -47,8 +48,19 @@ def search_config(bench: Benchmark, *, seed: int = 0,
         optimization_proposals=proposals,
         optimization_restarts=10,
         synthesis_chains=1 if synthesis else 0,
+        optimization_chains=chains,
         testcase_count=16,
     )
+
+
+def format_rate(value: float) -> str:
+    """Proposals/second, formatted once for every report surface.
+
+    The CLI summary, the per-kernel rows, and the ``--json`` payload
+    (which uses ``round(value, 1)``) all agree on one decimal place, so
+    the same run never shows two different throughput numbers.
+    """
+    return f"{value:,.1f}"
 
 
 @dataclass
@@ -66,6 +78,8 @@ class BenchmarkOutcome:
     synthesis_succeeded: bool = False
     proposals_per_second: float = 0.0
     testcases_per_proposal: float = 0.0
+    chains_scheduled: int = 0
+    chains_saved: int = 0
 
     def row(self) -> str:
         star = "*" if self.stoke_speedup > max(self.gcc_speedup,
@@ -74,25 +88,36 @@ class BenchmarkOutcome:
                 f"gcc={self.gcc_speedup:4.2f}x  "
                 f"icc={self.icc_speedup:4.2f}x  "
                 f"stoke={self.stoke_speedup:4.2f}x  "
-                f"[{self.proposals_per_second:7,.0f} prop/s, "
+                f"[{format_rate(self.proposals_per_second):>9} prop/s, "
                 f"{self.testcases_per_proposal:4.2f} tc/prop]"
                 f"{'' if self.stoke_verified else '  (unverified)'}")
 
 
 def run_stoke(bench: Benchmark, *, seed: int = 0,
               synthesis: bool = False,
+              chains: int = 1,
               engine: EngineOptions | None = None,
               evaluator: str | None = None) -> StokeResult:
-    """Run the full pipeline on one benchmark's O0 target."""
-    config = search_config(bench, seed=seed, synthesis=synthesis)
-    stoke = Stoke(bench.o0, bench.spec, bench.annotations, config=config,
-                  validator=Validator(), engine=engine,
-                  evaluator=evaluator)
-    return stoke.run()
+    """Run the full pipeline on one benchmark's O0 target.
+
+    Runs through :class:`Session` (the same path the ``Stoke`` shim
+    takes) so progress events carry the kernel's name.
+    """
+    from repro.api.session import Session
+    from repro.api.targets import Target
+    config = search_config(bench, seed=seed, synthesis=synthesis,
+                           chains=chains)
+    session = Session(
+        Target(program=bench.o0, spec=bench.spec,
+               annotations=bench.annotations, name=bench.name),
+        config=config, validator=Validator(), engine=engine,
+        evaluator=evaluator)
+    return session.run().stoke
 
 
 def evaluate_benchmark(bench: Benchmark, *, seed: int = 0,
                        synthesis: bool = False,
+                       chains: int = 1,
                        engine: EngineOptions | None = None,
                        evaluator: str | None = None) \
         -> BenchmarkOutcome:
@@ -101,7 +126,8 @@ def evaluate_benchmark(bench: Benchmark, *, seed: int = 0,
     gcc_cycles = actual_runtime(bench.gcc.compact())
     icc_cycles = actual_runtime(bench.icc.compact())
     result = run_stoke(bench, seed=seed, synthesis=synthesis,
-                       engine=engine, evaluator=evaluator)
+                       chains=chains, engine=engine,
+                       evaluator=evaluator)
     stoke_cycles = result.rewrite_cycles
     return BenchmarkOutcome(
         name=bench.name,
@@ -115,4 +141,6 @@ def evaluate_benchmark(bench: Benchmark, *, seed: int = 0,
         synthesis_succeeded=result.synthesis_succeeded,
         proposals_per_second=result.proposals_per_second,
         testcases_per_proposal=result.testcases_per_proposal,
+        chains_scheduled=result.chains_scheduled,
+        chains_saved=result.chains_saved,
     )

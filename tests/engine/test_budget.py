@@ -1,0 +1,149 @@
+"""Budget tests: spec grammar, stopping rules, adaptive campaigns.
+
+The acceptance bar: ``fixed`` never changes anything, and an adaptive
+campaign schedules measurably fewer chains while its best verified
+answer — and the decision of *when* to stop — is identical at any
+worker count.
+"""
+
+import pytest
+
+from repro.engine.budget import (BudgetSpec, FixedRule, StableRule,
+                                 available_budgets, register_budget)
+from repro.engine.campaign import Campaign, EngineOptions
+from repro.errors import RegistryError
+from repro.search.config import SearchConfig
+from repro.suite.registry import benchmark
+from repro.verifier.validator import Validator
+
+CONFIG = SearchConfig(ell=12, beta=1.0, seed=5,
+                      optimization_proposals=2500,
+                      optimization_restarts=4,
+                      optimization_chains=6,
+                      synthesis_chains=0,
+                      testcase_count=8)
+
+
+def _run(options, config=CONFIG):
+    bench = benchmark("p01")
+    return Campaign(bench.o0, bench.spec, bench.annotations,
+                    config=config, validator=Validator(),
+                    options=options, name="p01").run()
+
+
+# -- the spec grammar ---------------------------------------------------------
+
+def test_default_spec_is_fixed():
+    assert BudgetSpec.parse(None) == BudgetSpec()
+    assert BudgetSpec().spec_string() == "fixed"
+    assert isinstance(BudgetSpec().rule(), FixedRule)
+
+
+def test_adaptive_spec_round_trips():
+    spec = BudgetSpec.parse("adaptive:stable=3")
+    assert spec.kind == "adaptive" and spec.stable == 3
+    assert spec.spec_string() == "adaptive:stable=3"
+    assert BudgetSpec.parse(spec.spec_string()) == spec
+    assert isinstance(spec.rule(), StableRule)
+
+
+def test_adaptive_defaults_stable_chains():
+    assert BudgetSpec.parse("adaptive").stable == 2
+
+
+def test_parse_accepts_spec_instances():
+    spec = BudgetSpec(kind="adaptive", stable=4)
+    assert BudgetSpec.parse(spec) is spec
+
+
+@pytest.mark.parametrize("text", [
+    "turbo",                       # unknown kind
+    "adaptive:stable=zero",        # non-integer parameter
+    "adaptive:patience=3",         # unknown parameter
+    "adaptive:stable=0",           # out of range
+    "fixed:stable=3",              # fixed takes no parameters
+])
+def test_bad_specs_fail_at_the_flag(text):
+    with pytest.raises(RegistryError):
+        BudgetSpec.parse(text)
+
+
+def test_budget_registry_is_open():
+    class EagerRule(FixedRule):
+        pass
+
+    register_budget("eager-test", lambda spec: EagerRule())
+    try:
+        assert "eager-test" in available_budgets()
+        with pytest.raises(RegistryError, match="already registered"):
+            register_budget("eager-test", lambda spec: EagerRule())
+    finally:
+        from repro.engine import budget as budget_module
+        del budget_module._BUDGETS["eager-test"]
+
+
+# -- the stopping rules -------------------------------------------------------
+
+def test_stable_rule_counts_consecutive_unchanged_rankings():
+    rule = StableRule(stable=2)
+    assert rule.incremental and not rule.should_stop()
+    rule.observe(("a", 5))
+    assert rule.stable_chains == 0 and not rule.should_stop()
+    rule.observe(("a", 5))
+    assert rule.stable_chains == 1 and not rule.should_stop()
+    rule.observe(("b", 4))                  # ranking changed: reset
+    assert rule.stable_chains == 0
+    rule.observe(("b", 4))
+    rule.observe(("b", 4))
+    assert rule.stable_chains == 2 and rule.should_stop()
+
+
+def test_fixed_rule_never_stops():
+    rule = FixedRule()
+    assert not rule.incremental
+    for _ in range(100):
+        rule.observe(("same", 1))
+    assert not rule.should_stop() and rule.stable_chains == 0
+
+
+# -- adaptive campaigns -------------------------------------------------------
+
+def test_adaptive_schedules_fewer_chains_with_equal_best():
+    fixed = _run(EngineOptions(jobs=1))
+    adaptive = _run(EngineOptions(jobs=1, budget="adaptive:stable=2"))
+    assert fixed.chains_scheduled == 6 and fixed.chains_saved == 0
+    assert adaptive.chains_scheduled < fixed.chains_scheduled
+    assert adaptive.chains_saved == 6 - adaptive.chains_scheduled
+    # the saved chains must not cost the campaign its answer
+    assert str(adaptive.rewrite) == str(fixed.rewrite)
+    assert adaptive.rewrite_cycles == fixed.rewrite_cycles
+    # the adaptive run's results are a plan-order prefix of fixed's
+    assert len(adaptive.optimization) < len(fixed.optimization)
+
+
+def test_adaptive_is_deterministic_across_worker_counts():
+    serial = _run(EngineOptions(jobs=1, budget="adaptive:stable=2"))
+    pooled = _run(EngineOptions(jobs=2, budget="adaptive:stable=2"))
+    assert serial.chains_scheduled == pooled.chains_scheduled
+    assert serial.chains_saved == pooled.chains_saved
+    assert [(str(r.program), r.cost, r.cycles) for r in serial.ranked] \
+        == [(str(r.program), r.cost, r.cycles) for r in pooled.ranked]
+    assert str(serial.rewrite) == str(pooled.rewrite)
+
+
+def test_adaptive_resume_stops_at_the_same_chain(tmp_path):
+    run_dir = tmp_path / "run"
+    options = EngineOptions(jobs=1, run_dir=run_dir,
+                            budget="adaptive:stable=2")
+    full = _run(options)
+    resumed = _run(EngineOptions(jobs=1, run_dir=run_dir, resume=True,
+                                 budget="adaptive:stable=2"))
+    assert resumed.chains_scheduled == full.chains_scheduled
+    assert [(str(r.program), r.cycles) for r in resumed.ranked] \
+        == [(str(r.program), r.cycles) for r in full.ranked]
+
+
+def test_stoke_result_reports_chain_statistics():
+    result = _run(EngineOptions(jobs=1))
+    assert result.chains_scheduled == CONFIG.optimization_chains
+    assert result.chains_saved == 0

@@ -140,6 +140,30 @@ def test_manifest_freezes_testcases(tmp_path):
     _campaign(EngineOptions(jobs=1, run_dir=run_dir)).run()
     manifest = json.loads((run_dir / "manifest.json").read_text())
     assert len(manifest["testcases"]) == CONFIG.testcase_count
-    assert manifest["version"] == 2
+    assert manifest["version"] == 3
     assert manifest["cost"] == "correctness,latency"
     assert manifest["strategy"] == "mcmc"
+    assert manifest["budget"] == "fixed"
+
+
+def test_resume_rejects_changed_budget(tmp_path):
+    run_dir = tmp_path / "run"
+    _campaign(EngineOptions(jobs=1, run_dir=run_dir)).run()
+    with pytest.raises(EngineError, match="differs in budget"):
+        _campaign(EngineOptions(jobs=1, run_dir=run_dir, resume=True,
+                                budget="adaptive:stable=2")).run()
+
+
+def test_resume_of_v2_manifest_is_a_version_error(tmp_path):
+    """A PR-2/3 era manifest (no budget field) must fail on version,
+    not on a confusing missing-field message."""
+    run_dir = tmp_path / "run"
+    _campaign(EngineOptions(jobs=1, run_dir=run_dir)).run()
+    manifest_path = run_dir / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["version"] = 2
+    del manifest["budget"]
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(EngineError, match="version 2 is not 3"):
+        _campaign(EngineOptions(jobs=1, run_dir=run_dir,
+                                resume=True)).run()

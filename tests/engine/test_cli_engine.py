@@ -1,8 +1,11 @@
 """CLI tests for the engine flags and the optimize exit-path fix."""
 
+import json
+
 import repro.cli as cli
 from repro.api.session import Result
 from repro.search.stoke import StokeResult
+from repro.suite.runner import BenchmarkOutcome
 from repro.x86.parser import parse_program
 
 
@@ -74,3 +77,60 @@ def test_engine_campaign_sweeps_selected_kernels(tmp_path, capsys):
 def test_engine_campaign_resume_requires_run_dir(capsys):
     assert cli.main(["engine", "campaign", "p01", "--resume"]) == 2
     assert "--resume requires --run-dir" in capsys.readouterr().err
+
+
+def test_engine_campaign_progress_streams_per_kernel_events(tmp_path,
+                                                            capsys):
+    code = cli.main(["engine", "campaign", "p01", "p03",
+                     "--progress", "--chains", "2",
+                     "--budget", "adaptive:stable=1", "--jobs", "2",
+                     "--run-dir", str(tmp_path / "sweep")])
+    assert code == 0
+    captured = capsys.readouterr()
+    err = captured.err.splitlines()
+    for kernel in ("p01", "p03"):
+        assert any(line.startswith(f"[{kernel}] campaign started")
+                   for line in err)
+        assert any(f"[{kernel}] chain opt-" in line for line in err)
+        assert any(line.startswith(f"[{kernel}] finished")
+                   for line in err)
+        events = (tmp_path / "sweep" / kernel /
+                  "events.jsonl").read_text().splitlines()
+        assert events                        # stream journaled too
+    assert "budget=adaptive:stable=1" in captured.out
+
+
+def test_engine_campaign_rejects_bad_budget(capsys):
+    assert cli.main(["engine", "campaign", "p01",
+                     "--budget", "turbo"]) == 2
+    assert "unknown budget" in capsys.readouterr().err
+
+
+def test_optimize_accepts_budget_flag(capsys):
+    code = cli.main(["optimize", "p01", "--proposals", "400",
+                     "--testcases", "4", "--restarts", "2",
+                     "--chains", "3", "--budget", "adaptive:stable=1",
+                     "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["budget"] == "adaptive:stable=1"
+    assert 1 <= payload["chains_scheduled"] <= 3
+    assert payload["chains_scheduled"] + payload["chains_saved"] == 3
+
+
+def test_campaign_summary_rate_formatting_matches_json(monkeypatch,
+                                                       capsys):
+    outcome = BenchmarkOutcome(
+        name="p01", o0_cycles=10, gcc_speedup=1.0, icc_speedup=1.0,
+        stoke_speedup=1.0, stoke_verified=True,
+        proposals_per_second=1234.56, testcases_per_proposal=1.234,
+        chains_scheduled=1)
+    monkeypatch.setattr(cli, "evaluate_benchmark",
+                        lambda *args, **kwargs: outcome)
+    assert cli.main(["engine", "campaign", "p01"]) == 0
+    out = capsys.readouterr().out
+    # summary and per-kernel row both show --json's round(value, 1)
+    json_value = round(outcome.proposals_per_second, 1)
+    assert f"{json_value:,} proposals/s" in out
+    assert f"{json_value:,} prop/s" in out
+    assert "1 chains scheduled, 0 saved" in out
