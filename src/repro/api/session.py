@@ -52,6 +52,7 @@ class Result:
     testcases_per_proposal: float
     stoke: StokeResult = field(repr=False)
     budget: str = "fixed"
+    interleave: str = "none"
     chains_scheduled: int = 0
     chains_saved: int = 0
 
@@ -73,6 +74,7 @@ class Result:
             "cost": self.cost,
             "strategy": self.strategy,
             "budget": self.budget,
+            "interleave": self.interleave,
             "chains_scheduled": self.chains_scheduled,
             "chains_saved": self.chains_saved,
             "proposals_per_second": round(self.proposals_per_second, 1),
@@ -122,15 +124,28 @@ class Session:
         self.validator = validator
         self.engine = engine
 
-    def run(self) -> Result:
-        """Execute the campaign and wrap its outcome."""
+    def campaign(self) -> Campaign:
+        """The assembled campaign, not yet running.
+
+        A cross-kernel sweep (:func:`repro.engine.sweep.run_campaigns`)
+        collects one of these per kernel and executes them over a
+        shared pool; :meth:`wrap` turns the outcome back into a
+        :class:`Result`.
+        """
         options = self.engine or EngineOptions()
-        campaign = Campaign(
+        return Campaign(
             self.target.program, self.target.spec, self.target.annotations,
             config=self.config, validator=self.validator,
             options=options, cost=self.cost, strategy=self.strategy,
             name=self.target.name)
-        outcome = campaign.run()
+
+    def run(self) -> Result:
+        """Execute the campaign and wrap its outcome."""
+        campaign = self.campaign()
+        return self.wrap(campaign, campaign.run())
+
+    def wrap(self, campaign: Campaign, outcome: StokeResult) -> Result:
+        """Report one campaign outcome as a :class:`Result`."""
         return Result(
             name=self.target.name,
             verified=outcome.verified,
@@ -147,6 +162,7 @@ class Session:
             testcases_per_proposal=outcome.testcases_per_proposal,
             stoke=outcome,
             budget=campaign.budget.spec_string(),
+            interleave=campaign.options.interleave_policy,
             chains_scheduled=outcome.chains_scheduled,
             chains_saved=outcome.chains_saved,
         )

@@ -76,13 +76,26 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_line(text: str, stream=None) -> None:
+    """Write one progress/report line and flush it immediately.
+
+    Progress output must stay live when piped (``| tee``, a log
+    collector): pipes make stdio block-buffered, so every line is
+    written *and flushed* explicitly instead of trusting the stream's
+    buffering mode.
+    """
+    stream = sys.stderr if stream is None else stream
+    stream.write(text + "\n")
+    stream.flush()
+
+
 def _progress_listener(args: argparse.Namespace):
     """The stderr event printer behind ``--progress`` (None if unset)."""
     if not getattr(args, "progress", False):
         return None
 
     def listener(event):
-        print(format_event(event), file=sys.stderr, flush=True)
+        _emit_line(format_event(event))
     return listener
 
 
@@ -90,6 +103,7 @@ def _engine_options(args: argparse.Namespace) -> EngineOptions:
     return EngineOptions(jobs=args.jobs, run_dir=args.run_dir,
                          resume=args.resume,
                          budget=BudgetSpec.parse(args.budget),
+                         interleave=getattr(args, "interleave", False),
                          progress=_progress_listener(args))
 
 
@@ -168,31 +182,47 @@ def _cmd_speedups(args: argparse.Namespace) -> int:
 def _cmd_engine_campaign(args: argparse.Namespace) -> int:
     """Sweep the suite as one resumable, parallel campaign."""
     from repro.engine.checkpoint import CheckpointStore
+    from repro.suite.runner import evaluate_campaign
     if args.resume and not args.run_dir:
         print("--resume requires --run-dir", file=sys.stderr)
         return 2
     names = args.kernels or [b.name for b in all_benchmarks()]
+    # validate every name before any kernel runs: a typo at position N
+    # must not cost N-1 kernels of finished work before exiting 2
+    benches = [benchmark(name) for name in names]
     base_dir = Path(args.run_dir) if args.run_dir else None
     budget = BudgetSpec.parse(args.budget)
     progress = _progress_listener(args)
-    rows = []
-    for index, name in enumerate(names):
-        bench = benchmark(name)
-        run_dir = None if base_dir is None else base_dir / name
+
+    def engine_for(bench) -> EngineOptions:
+        run_dir = None if base_dir is None else base_dir / bench.name
         # a sweep interrupted mid-kernel leaves later kernels with no
         # journal yet; resume what exists, start the rest fresh
         resume = (args.resume and run_dir is not None and
                   CheckpointStore(run_dir).has_manifest())
-        options = EngineOptions(jobs=args.jobs, run_dir=run_dir,
-                                resume=resume, budget=budget,
-                                progress=progress)
-        outcome = evaluate_benchmark(bench, seed=args.seed + index,
-                                     synthesis=args.synthesis,
-                                     chains=args.chains,
-                                     engine=options,
-                                     evaluator=args.evaluator)
-        rows.append(outcome)
-        print(outcome.row(), flush=True)
+        return EngineOptions(jobs=args.jobs, run_dir=run_dir,
+                             resume=resume, budget=budget,
+                             interleave=args.interleave,
+                             progress=progress)
+
+    if args.interleave:
+        rows = evaluate_campaign(benches, seed=args.seed,
+                                 synthesis=args.synthesis,
+                                 chains=args.chains,
+                                 engine_for=engine_for,
+                                 evaluator=args.evaluator)
+        for outcome in rows:
+            _emit_line(outcome.row(), sys.stdout)
+    else:
+        rows = []
+        for index, bench in enumerate(benches):
+            outcome = evaluate_benchmark(bench, seed=args.seed + index,
+                                         synthesis=args.synthesis,
+                                         chains=args.chains,
+                                         engine=engine_for(bench),
+                                         evaluator=args.evaluator)
+            rows.append(outcome)
+            _emit_line(outcome.row(), sys.stdout)
     improved = sum(1 for row in rows if row.stoke_speedup > 1.0)
     mean_pps = (sum(row.proposals_per_second for row in rows) /
                 len(rows)) if rows else 0.0
@@ -200,11 +230,13 @@ def _cmd_engine_campaign(args: argparse.Namespace) -> int:
                 len(rows)) if rows else 0.0
     scheduled = sum(row.chains_scheduled for row in rows)
     saved = sum(row.chains_saved for row in rows)
-    print(f"campaign done: {improved}/{len(rows)} kernels improved "
-          f"(jobs={args.jobs}, budget={budget.spec_string()}, "
-          f"{format_rate(mean_pps)} proposals/s, "
-          f"{mean_tpp:.2f} testcases/proposal, "
-          f"{scheduled} chains scheduled, {saved} saved)")
+    _emit_line(
+        f"campaign done: {improved}/{len(rows)} kernels improved "
+        f"(jobs={args.jobs}, budget={budget.spec_string()}, "
+        f"{'interleaved, ' if args.interleave else ''}"
+        f"{format_rate(mean_pps)} proposals/s, "
+        f"{mean_tpp:.2f} testcases/proposal, "
+        f"{scheduled} chains scheduled, {saved} saved)", sys.stdout)
     return 0
 
 
@@ -273,6 +305,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--chains", type=int, default=1,
         help="optimization chains per kernel (adaptive budgets may "
              "schedule fewer)")
+    campaign.add_argument(
+        "--interleave", action="store_true",
+        help="grant chain rounds from all kernels to one shared pool "
+             "round-robin (identical results for ranking-driven "
+             "budgets, better pool occupancy; a wallclock deadline "
+             "becomes sweep-wide instead of per-kernel)")
     _add_engine_arguments(campaign)
     campaign.set_defaults(fn=_cmd_engine_campaign)
     return parser
@@ -314,9 +352,12 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         help="resume a journaled run from --run-dir")
     parser.add_argument(
         "--budget", default="fixed", metavar="SPEC",
-        help="chain budget: fixed (run every configured chain) or "
+        help="chain budget: fixed (run every configured chain), "
              "adaptive:stable=K (stop a kernel once its best ranking "
-             "is unchanged for K chains) "
+             "is unchanged for K chains), plateau:eps=E,stable=K "
+             "(stop once best cycles improved by less than E over K "
+             "chains), or wallclock:secs=S (deny new chain grants "
+             "after S seconds) "
              f"(available: {', '.join(available_budgets())})")
 
 

@@ -6,9 +6,11 @@ a process pool (executor/worker), merges chain outputs into one
 deterministic verdict and running partial rankings (aggregator),
 journals completed jobs for checkpoint/resume (checkpoint), decides
 when a kernel has had enough chains (budget), and streams versioned
-progress events for live consumers (events). :class:`Campaign` ties
-the pieces together; :class:`repro.api.session.Session` — and the
-legacy ``Stoke`` facade through it — sits on top.
+progress events for live consumers (events). :class:`Campaign`
+describes one kernel's search; the cross-kernel scheduler (sweep)
+executes any number of them over one shared pool;
+:class:`repro.api.session.Session` — and the legacy ``Stoke`` facade
+through it — sits on top.
 """
 
 from repro.engine.aggregator import (best_signature, dedup_programs,
@@ -24,16 +26,19 @@ from repro.engine.executor import (ProcessPoolExecutor, SerialExecutor,
                                    make_executor)
 from repro.engine.jobs import (ChainJob, JobResult, OPTIMIZATION,
                                SYNTHESIS)
-from repro.engine.scheduler import (optimization_jobs,
+from repro.engine.scheduler import (interleave_rounds,
+                                    optimization_jobs,
                                     optimization_rounds, synthesis_jobs)
+from repro.engine.sweep import KernelSchedule, run_campaigns
 from repro.engine.worker import CampaignContext, run_chain_job
 
 __all__ = ["BudgetSpec", "Campaign", "CampaignContext", "ChainJob",
            "CheckpointStore", "EngineOptions", "EventLog", "JobResult",
-           "OPTIMIZATION", "ProcessPoolExecutor", "ProgressEvent",
-           "SYNTHESIS", "SerialExecutor", "StoppingRule",
-           "available_budgets", "best_signature", "dedup_programs",
-           "final_ranking", "format_event", "make_executor",
-           "merge_testcases", "optimization_jobs",
-           "optimization_rounds", "read_events", "register_budget",
-           "run_chain_job", "synthesis_jobs", "synthesis_starts"]
+           "KernelSchedule", "OPTIMIZATION", "ProcessPoolExecutor",
+           "ProgressEvent", "SYNTHESIS", "SerialExecutor",
+           "StoppingRule", "available_budgets", "best_signature",
+           "dedup_programs", "final_ranking", "format_event",
+           "interleave_rounds", "make_executor", "merge_testcases",
+           "optimization_jobs", "optimization_rounds", "read_events",
+           "register_budget", "run_campaigns", "run_chain_job",
+           "synthesis_jobs", "synthesis_starts"]

@@ -12,20 +12,35 @@ schedules chains under:
 ``adaptive:stable=K``        stop scheduling new chains once the best
                              verified ranking has been unchanged for K
                              consecutive completed chains
+``plateau:eps=E,stable=K``   stop once the best modeled cycle count has
+                             improved by less than E over the last K
+                             completed chains
+``wallclock:secs=S``         deny new chain grants once S seconds of
+                             campaign wall-clock have elapsed (S
+                             defaults to the paper's 30-minute cluster
+                             budget). The deadline is *campaign-wide*:
+                             a sequential sweep runs each kernel as its
+                             own campaign (a fresh S per kernel), while
+                             an interleaved sweep is one campaign whose
+                             kernels share one clock
 ===========================  =============================================
 
 Like cost terms and search strategies, budgets are resolved by name
 from a registry, so the spec travels through CLI flags (``--budget``)
-and checkpoint manifests (the v3 ``budget`` field) — a resumed campaign
+and checkpoint manifests (the v4 ``budget`` field) — a resumed campaign
 rejects a changed stopping rule rather than silently re-deciding which
 chains to run. New rules are added with :func:`register_budget`.
 
 The rule itself is a small state machine: the campaign feeds it the
 running best-ranking *signature* after each completed chain
-(:meth:`StoppingRule.observe`) and asks :meth:`StoppingRule.should_stop`
+(:meth:`StoppingRule.observe`) and asks :meth:`StoppingRule.grant`
 before scheduling the next one. Rules whose ``incremental`` flag is
 False never need feedback, so the campaign submits the whole plan up
-front — exactly the pre-budget execution.
+front — exactly the pre-budget execution. ``wallclock`` is the one
+rule whose decisions are not a pure function of the result stream:
+the campaign therefore journals every grant decision (see
+:mod:`repro.engine.checkpoint`) and a resume replays the journal
+instead of re-consulting the clock, which keeps replay deterministic.
 """
 
 from __future__ import annotations
@@ -36,6 +51,9 @@ from typing import Callable
 from repro.errors import RegistryError, unknown_name_message
 
 DEFAULT_STABLE_CHAINS = 2
+DEFAULT_PLATEAU_EPS = 1.0
+# the paper's per-kernel cluster budget: 30 minutes of wall-clock
+DEFAULT_WALLCLOCK_SECS = 1800.0
 
 # The ranking signature a rule observes: (best program key, modeled
 # cycles). Cost is deliberately excluded — the merged testcase suite
@@ -48,11 +66,18 @@ class StoppingRule:
     """When to stop scheduling chains for one kernel.
 
     Attributes:
-        incremental: True if the rule needs per-chain ranking feedback;
-            False lets the campaign submit its full plan in one wave.
+        incremental: True if the rule decides chain by chain; False
+            lets the campaign submit its full plan in one wave.
+        needs_ranking: True if the rule consumes per-chain ranking
+            feedback (``observe``); False skips the per-round re-rank
+            entirely (``wallclock`` only needs the clock).
+        stop_reason: the ``kernel-stopped`` event reason this rule
+            reports when it denies a grant.
     """
 
     incremental: bool = False
+    needs_ranking: bool = True
+    stop_reason: str = "stable"
 
     def observe(self, signature: Signature) -> None:
         """Record the running best ranking after one completed chain."""
@@ -61,9 +86,20 @@ class StoppingRule:
         """True once further chains are judged not worth scheduling."""
         return False
 
+    def grant(self, elapsed: float) -> bool:
+        """Decide, at grant time, whether the next chain may start.
+
+        ``elapsed`` is the campaign's wall-clock age in seconds; only
+        clock-driven rules look at it. The default defers to
+        :meth:`should_stop`, so ranking-driven rules stay a pure
+        function of the plan-order result stream.
+        """
+        del elapsed
+        return not self.should_stop()
+
     @property
     def stable_chains(self) -> int:
-        """Consecutive completed chains with an unchanged best ranking."""
+        """Consecutive completed chains with a stable best ranking."""
         return 0
 
 
@@ -84,6 +120,7 @@ class StableRule(StoppingRule):
     """
 
     incremental = True
+    stop_reason = "stable"
 
     def __init__(self, stable: int) -> None:
         if stable < 1:
@@ -106,6 +143,82 @@ class StableRule(StoppingRule):
     @property
     def stable_chains(self) -> int:
         return self._streak
+
+
+class PlateauRule(StoppingRule):
+    """Stop once best cycles improved by less than ``eps`` over
+    ``stable`` chains.
+
+    Where :class:`StableRule` demands a *bit-identical* best ranking,
+    this rule tolerates churn among near-ties: it tracks the best
+    modeled cycle count after each completed chain and stops once the
+    improvement over the last ``stable`` chains falls below ``eps``.
+    Decisions are a pure function of the plan-order cycle sequence, so
+    plateau campaigns are as worker-count-invariant as adaptive ones.
+    """
+
+    incremental = True
+    stop_reason = "plateau"
+
+    def __init__(self, eps: float, stable: int) -> None:
+        if eps <= 0:
+            raise RegistryError(
+                f"plateau budget needs eps > 0, got {eps}")
+        if stable < 1:
+            raise RegistryError(
+                f"plateau budget needs stable >= 1, got {stable}")
+        self.eps = eps
+        self.stable = stable
+        self._history: list[int] = []
+
+    def observe(self, signature: Signature) -> None:
+        self._history.append(signature[1])
+
+    def should_stop(self) -> bool:
+        return self.stable_chains >= self.stable
+
+    @property
+    def stable_chains(self) -> int:
+        """Trailing chains whose cycles sit within ``eps`` of the
+        latest best (the plateau's length so far)."""
+        if not self._history:
+            return 0
+        latest = self._history[-1]
+        streak = 0
+        for prior in reversed(self._history[:-1]):
+            if prior - latest < self.eps:
+                streak += 1
+            else:
+                break
+        return streak
+
+
+class WallclockRule(StoppingRule):
+    """Deny chain grants once the campaign is ``secs`` seconds old.
+
+    The deadline is enforced at *grant* time, never mid-chain: a chain
+    that was granted always runs to completion, so the set of chains a
+    campaign ran is exactly the set of grants it journaled — which is
+    what a resume replays instead of re-consulting the clock. The
+    clock is the campaign's: an interleaved sweep shares one deadline
+    across every kernel (the cluster-allocation reading), a sequential
+    sweep restarts it per kernel — and unlike the ranking-driven
+    rules, a fresh run's grants genuinely depend on machine speed, so
+    only replayed runs are reproducible.
+    """
+
+    incremental = True
+    needs_ranking = False
+    stop_reason = "deadline"
+
+    def __init__(self, secs: float) -> None:
+        if secs <= 0:
+            raise RegistryError(
+                f"wallclock budget needs secs > 0, got {secs}")
+        self.secs = secs
+
+    def grant(self, elapsed: float) -> bool:
+        return elapsed < self.secs
 
 
 # -- the registry -------------------------------------------------------------
@@ -137,21 +250,54 @@ def available_budgets() -> list[str]:
 
 register_budget("fixed", lambda spec: FixedRule())
 register_budget("adaptive", lambda spec: StableRule(spec.stable))
+register_budget("plateau",
+                lambda spec: PlateauRule(spec.eps, spec.stable))
+register_budget("wallclock", lambda spec: WallclockRule(spec.secs))
 
 
 # -- the spec -----------------------------------------------------------------
+
+# per-kind parameter grammars: name -> converter. Custom kinds added
+# with register_budget accept every known parameter — their factories
+# read what they need off the parsed spec.
+_PARAMETERS: dict[str, dict[str, Callable[[str], float]]] = {
+    "fixed": {},
+    "adaptive": {"stable": int},
+    "plateau": {"eps": float, "stable": int},
+    "wallclock": {"secs": float},
+}
+_CUSTOM_PARAMETERS: dict[str, Callable[[str], float]] = {
+    "stable": int, "eps": float, "secs": float,
+}
+
+
+def _format_number(value: float) -> str:
+    """Canonical numeric form: no trailing zeros (``1`` not ``1.0``).
+
+    The spec string is a resume *fingerprint*: two different parameter
+    values must never print the same, so when ``%g``'s 6 significant
+    digits would lose precision the exact ``repr`` is used instead.
+    """
+    text = f"{value:g}"
+    return text if float(text) == value else repr(value)
+
 
 @dataclass(frozen=True)
 class BudgetSpec:
     """A stopping rule by name — the serializable flag/manifest form.
 
     Attributes:
-        kind: registry key (``fixed`` or ``adaptive``).
-        stable: the K of ``adaptive:stable=K``; ignored by ``fixed``.
+        kind: registry key (``fixed``, ``adaptive``, ``plateau``,
+            ``wallclock``).
+        stable: the K of ``adaptive``/``plateau``; ignored otherwise.
+        eps: the minimum improvement of ``plateau:eps=E``.
+        secs: the deadline of ``wallclock:secs=S``.
     """
 
     kind: str = "fixed"
     stable: int = DEFAULT_STABLE_CHAINS
+    eps: float = DEFAULT_PLATEAU_EPS
+    secs: float = DEFAULT_WALLCLOCK_SECS
 
     def __post_init__(self) -> None:
         if self.kind not in _BUDGETS:
@@ -160,10 +306,17 @@ class BudgetSpec:
         if self.stable < 1:
             raise RegistryError(
                 f"budget parameter stable must be >= 1, got {self.stable}")
+        if self.kind == "plateau" and self.eps <= 0:
+            raise RegistryError(
+                f"budget parameter eps must be > 0, got {self.eps}")
+        if self.kind == "wallclock" and self.secs <= 0:
+            raise RegistryError(
+                f"budget parameter secs must be > 0, got {self.secs}")
 
     @classmethod
     def parse(cls, text: str | BudgetSpec | None) -> BudgetSpec:
-        """Parse ``"fixed"`` or ``"adaptive[:stable=K]"``.
+        """Parse ``"fixed"``, ``"adaptive[:stable=K]"``,
+        ``"plateau[:eps=E,stable=K]"``, or ``"wallclock[:secs=S]"``.
 
         Names and parameters are validated immediately so a typo fails
         at the flag, not at the end of the first chain.
@@ -177,34 +330,49 @@ class BudgetSpec:
         if kind not in _BUDGETS:
             raise RegistryError(
                 unknown_name_message("budget", kind, _BUDGETS))
-        if kind == "fixed" and param_text.strip():
+        allowed = _PARAMETERS.get(kind, _CUSTOM_PARAMETERS)
+        if not allowed and param_text.strip():
             raise RegistryError(
-                f"budget 'fixed' takes no parameters, got "
-                f"{param_text.strip()!r} (did you mean "
-                f"adaptive:{param_text.strip()}?)")
-        stable = DEFAULT_STABLE_CHAINS
+                f"budget {kind!r} takes no parameters, got "
+                f"{param_text.strip()!r}")
+        values: dict[str, float] = {}
         for part in param_text.split(","):
             part = part.strip()
             if not part:
                 continue
             key, sep, value_text = part.partition("=")
-            if key.strip() != "stable" or not sep:
+            key = key.strip()
+            if not sep or key not in allowed:
+                expected = " or ".join(f"{name}=..."
+                                       for name in allowed)
                 raise RegistryError(
                     f"bad budget parameter {part!r} "
-                    f"(expected stable=K)")
+                    f"(expected {expected})")
             try:
-                stable = int(value_text.strip())
+                values[key] = allowed[key](value_text.strip())
             except ValueError:
+                wanted = ("an integer" if allowed[key] is int
+                          else "a number")
                 raise RegistryError(
                     f"bad budget parameter value {value_text!r} "
-                    f"(stable needs an integer)") from None
-        return cls(kind=kind, stable=stable)
+                    f"({key} needs {wanted})") from None
+        return cls(kind=kind,
+                   stable=int(values.get("stable",
+                                         DEFAULT_STABLE_CHAINS)),
+                   eps=float(values.get("eps", DEFAULT_PLATEAU_EPS)),
+                   secs=float(values.get("secs",
+                                         DEFAULT_WALLCLOCK_SECS)))
 
     def spec_string(self) -> str:
         """The canonical flag/manifest form (defaults are implicit)."""
-        if self.kind == "fixed":
-            return "fixed"
-        return f"{self.kind}:stable={self.stable}"
+        if self.kind == "adaptive":
+            return f"adaptive:stable={self.stable}"
+        if self.kind == "plateau":
+            return (f"plateau:eps={_format_number(self.eps)},"
+                    f"stable={self.stable}")
+        if self.kind == "wallclock":
+            return f"wallclock:secs={_format_number(self.secs)}"
+        return self.kind
 
     def rule(self) -> StoppingRule:
         """A fresh stopping rule for one campaign."""

@@ -4,17 +4,25 @@ A campaign runs the Figure 9 pipeline as two waves of independent jobs:
 
 1. every synthesis chain (the verified survivors, plus the target,
    become the optimization starting points), then
-2. optimization chains over every start — scheduled incrementally, one
-   chain at a time, so the campaign's stopping rule
+2. optimization chains over every start — granted incrementally, one
+   chain round at a time, so the campaign's stopping rule
    (:mod:`repro.engine.budget`) can stop a kernel whose best verified
-   ranking has stabilized instead of burning its whole allocation.
+   ranking has stabilized (or whose wall-clock budget is spent)
+   instead of burning its whole allocation.
+
+Execution lives in :mod:`repro.engine.sweep`: a :class:`Campaign` is
+the *description* of one kernel's search (target, specs, options,
+fingerprint), and :meth:`Campaign.run` is simply the one-kernel case
+of the cross-kernel scheduler — ``repro engine campaign --interleave``
+runs many of these over one shared pool.
 
 Each completed job is journaled before the next result is awaited, so
 an interrupted campaign resumed with the same run directory re-runs
 only the missing chains — and, because jobs are independent, results
 are aggregated in plan order, and stopping decisions depend only on
-that plan-order sequence, a campaign finishes with results identical
-to an uninterrupted run at any worker count.
+that plan-order sequence (or on journaled grant decisions, for the
+clock-driven ``wallclock`` rule), a campaign finishes with results
+identical to an uninterrupted run at any worker count.
 
 Progress is streamed as versioned events (:mod:`repro.engine.events`):
 to ``<run_dir>/events.jsonl`` when checkpointing, and to the
@@ -24,24 +32,16 @@ multi-host scheduler (or ``--progress``) consumes.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.cost.terms import CostSpec
-from repro.engine import aggregator, scheduler, serialize
+from repro.engine import serialize
 from repro.engine.budget import BudgetSpec
 from repro.engine.checkpoint import CheckpointStore
-from repro.engine.events import (CAMPAIGN_FINISHED, CAMPAIGN_STARTED,
-                                 CHAIN_COMPLETED, EventLog,
-                                 KERNEL_STOPPED, ProgressListener,
-                                 RANKING_UPDATED)
-from repro.engine.executor import Executor, make_executor
-from repro.engine.jobs import ChainJob, JobResult, result_from_json
+from repro.engine.events import ProgressListener
 from repro.engine.serialize import Json
-from repro.engine.worker import CampaignContext
 from repro.errors import EngineError
-from repro.perfsim.model import actual_runtime
 from repro.search.config import SearchConfig
 from repro.search.stoke import StokeResult
 from repro.search.strategies import StrategySpec
@@ -50,6 +50,9 @@ from repro.testgen.generator import TestcaseGenerator
 from repro.testgen.testcase import Testcase
 from repro.verifier.validator import LiveSpec, Validator
 from repro.x86.program import Program
+
+INTERLEAVE_NONE = "none"
+INTERLEAVE_ROUNDROBIN = "roundrobin"
 
 
 @dataclass(frozen=True)
@@ -63,9 +66,15 @@ class EngineOptions:
             fresh (requires ``run_dir``).
         budget: chain-scheduling stopping rule — a
             :class:`~repro.engine.budget.BudgetSpec` or its spec string
-            (``"fixed"``, ``"adaptive:stable=K"``). The default
-            ``fixed`` runs every configured chain, bit-identical to
-            the pre-budget engine.
+            (``"fixed"``, ``"adaptive:stable=K"``,
+            ``"plateau:eps=E,stable=K"``, ``"wallclock:secs=S"``). The
+            default ``fixed`` runs every configured chain,
+            bit-identical to the pre-budget engine.
+        interleave: grant chain rounds from many kernels to one shared
+            pool in round-robin order instead of draining one kernel
+            at a time. Results are bit-identical either way; the
+            policy is frozen in the checkpoint manifest (v4) so a
+            resume cannot silently switch schedulers.
         progress: optional live listener for campaign progress events;
             also streamed to ``<run_dir>/events.jsonl`` when
             checkpointing.
@@ -75,6 +84,7 @@ class EngineOptions:
     run_dir: str | Path | None = None
     resume: bool = False
     budget: BudgetSpec | str = field(default_factory=BudgetSpec)
+    interleave: bool = False
     progress: ProgressListener | None = None
 
     def __post_init__(self) -> None:
@@ -83,6 +93,12 @@ class EngineOptions:
         if self.resume and self.run_dir is None:
             raise EngineError("--resume requires a run directory")
         object.__setattr__(self, "budget", BudgetSpec.parse(self.budget))
+
+    @property
+    def interleave_policy(self) -> str:
+        """The manifest form of the scheduling policy."""
+        return (INTERLEAVE_ROUNDROBIN if self.interleave
+                else INTERLEAVE_NONE)
 
 
 class Campaign:
@@ -112,92 +128,14 @@ class Campaign:
         return spec
 
     def run(self) -> StokeResult:
-        """Execute (or finish) the campaign and aggregate the result."""
-        start_time = time.perf_counter()
-        store = (CheckpointStore(self.options.run_dir)
-                 if self.options.run_dir is not None else None)
-        testcases, completed = self._initial_state(store)
-        events = EventLog(
-            path=(None if store is None
-                  else store.run_dir / "events.jsonl"),
-            listener=self.options.progress,
-            append=self.options.resume)
-        chains_planned = (self.config.synthesis_chains +
-                          self.config.optimization_chains)
-        events.emit(CAMPAIGN_STARTED, self.name,
-                    budget=self.budget.spec_string(),
-                    jobs=self.options.jobs,
-                    chains_planned=chains_planned)
-        context = CampaignContext(
-            target=self.target, spec=self.spec,
-            annotations=self.annotations, config=self.config,
-            testcases=testcases, validator=self.validator,
-            cost=self.cost, strategy=self.strategy)
-        executor = make_executor(context, self.options.jobs)
-        try:
-            synth_start = time.perf_counter()
-            synth_plan = scheduler.synthesis_jobs(self.config)
-            synth_results = self._run_wave(executor, synth_plan,
-                                           completed, store, events)
-            synthesis_seconds = time.perf_counter() - synth_start
+        """Execute (or finish) the campaign and aggregate the result.
 
-            starts = aggregator.synthesis_starts(self.target,
-                                                 synth_results)
-            opt_start = time.perf_counter()
-            opt_results, opt_chains, stopped_early = \
-                self._run_optimization(executor, starts, testcases,
-                                       synth_results, completed, store,
-                                       events)
-            optimization_seconds = time.perf_counter() - opt_start
-        except BaseException:
-            # don't block an error or Ctrl-C on queued chains; the
-            # journal already holds everything worth keeping
-            executor.terminate()
-            raise
-        else:
-            executor.close()
-
-        chains_scheduled = self.config.synthesis_chains + opt_chains
-        chains_saved = chains_planned - chains_scheduled
-        events.emit(KERNEL_STOPPED, self.name,
-                    reason="stable" if stopped_early else "exhausted",
-                    chains_scheduled=chains_scheduled,
-                    chains_saved=chains_saved)
-
-        merged = aggregator.merge_testcases(
-            testcases, synth_results + opt_results)
-        ranked = aggregator.final_ranking(self.target, self.config,
-                                          merged, opt_results,
-                                          cost=self.cost)
-        target_cycles = actual_runtime(self.target.compact())
-        rewrite: Program | None = None
-        rewrite_cycles = target_cycles
-        if ranked:
-            best = ranked[0]
-            if best.cycles <= target_cycles:
-                rewrite = best.program.compact()
-                rewrite_cycles = best.cycles
-        result = StokeResult(
-            target=self.target,
-            rewrite=rewrite,
-            verified=rewrite is not None,
-            target_cycles=target_cycles,
-            rewrite_cycles=rewrite_cycles,
-            ranked=ranked,
-            synthesis=[r.phase_result() for r in synth_results],
-            optimization=[r.phase_result() for r in opt_results],
-            testcases=merged,
-            seconds=time.perf_counter() - start_time,
-            synthesis_seconds=synthesis_seconds,
-            optimization_seconds=optimization_seconds,
-            chains_scheduled=chains_scheduled,
-            chains_saved=chains_saved,
-        )
-        events.emit(CAMPAIGN_FINISHED, self.name,
-                    verified=result.verified,
-                    rewrite_cycles=result.rewrite_cycles,
-                    speedup=round(result.speedup, 4))
-        return result
+        A single campaign is the one-kernel case of the cross-kernel
+        scheduler — see :func:`repro.engine.sweep.run_campaigns` for
+        the sweep over many.
+        """
+        from repro.engine.sweep import run_campaigns
+        return run_campaigns([self])[0]
 
     # -- run state ------------------------------------------------------------
 
@@ -211,6 +149,7 @@ class Campaign:
             "cost": self.cost.spec_string(),
             "strategy": self.strategy.spec_string(),
             "budget": self.budget.spec_string(),
+            "interleave": self.options.interleave_policy,
         }
 
     def _initial_state(self, store: CheckpointStore | None) \
@@ -237,79 +176,3 @@ class Campaign:
                                      for tc in testcases]
             store.start_fresh(manifest)
         return testcases, {}
-
-    # -- scheduling -----------------------------------------------------------
-
-    def _run_optimization(self, executor: Executor,
-                          starts: list[Program],
-                          testcases: list[Testcase],
-                          synth_results: list[JobResult],
-                          completed: dict[str, Json],
-                          store: CheckpointStore | None,
-                          events: EventLog) \
-            -> tuple[list[JobResult], int, bool]:
-        """The optimization wave, scheduled under the budget's rule.
-
-        Returns (results in plan order, chains scheduled, stopped
-        early). A non-incremental rule (``fixed``) submits the whole
-        plan as one wave — exactly the pre-budget engine. An
-        incremental rule consumes the round generator chain by chain,
-        observing the running best ranking after each; because that
-        sequence is in plan order, the rule trips at the same chain at
-        any worker count.
-
-        Two deliberate costs of determinism: each round is a barrier,
-        so an incremental rule keeps at most ``len(starts)`` jobs in
-        flight (with one start, an adaptive campaign runs chains
-        serially — the saving is chains never run, not per-chain
-        parallelism), and the running ranking is recomputed from
-        scratch per round (cheap relative to a chain: one re-score of
-        a small survivor pool vs thousands of proposals).
-        """
-        rounds = scheduler.optimization_rounds(self.config, starts)
-        rule = self.budget.rule()
-        if not rule.incremental:
-            plan = [job for round_jobs in rounds for job in round_jobs]
-            results = self._run_wave(executor, plan, completed, store,
-                                     events)
-            return results, self.config.optimization_chains, False
-        results: list[JobResult] = []
-        chains_run = 0
-        for round_jobs in rounds:
-            results.extend(self._run_wave(executor, round_jobs,
-                                          completed, store, events))
-            chains_run += 1
-            merged = aggregator.merge_testcases(
-                testcases, synth_results + results)
-            signature = aggregator.best_signature(
-                self.target, self.config, merged, results,
-                cost=self.cost)
-            rule.observe(signature)
-            events.emit(RANKING_UPDATED, self.name,
-                        chains_completed=chains_run,
-                        best_cycles=signature[1],
-                        stable_chains=rule.stable_chains)
-            if rule.should_stop():
-                return results, chains_run, True
-        return results, chains_run, False
-
-    def _run_wave(self, executor: Executor, plan: list[ChainJob],
-                  completed: dict[str, Json],
-                  store: CheckpointStore | None,
-                  events: EventLog) -> list[JobResult]:
-        """Run a wave's pending jobs; return results in plan order."""
-        pending = [job for job in plan if job.job_id not in completed]
-        for payload in executor.run(pending):
-            completed[payload["job_id"]] = payload
-            if store is not None:
-                store.record(payload)
-            events.emit(CHAIN_COMPLETED, self.name,
-                        job_id=payload["job_id"],
-                        kind=payload["kind"],
-                        verified=len(payload["verified"]),
-                        new_testcases=len(payload["new_testcases"]))
-        missing = [job.job_id for job in plan
-                   if job.job_id not in completed]
-        if missing:
-            raise EngineError(f"executor lost jobs: {missing}")
-        return [result_from_json(completed[job.job_id]) for job in plan]

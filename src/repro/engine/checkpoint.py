@@ -4,6 +4,7 @@ Layout::
 
     <run_dir>/manifest.json   campaign fingerprint + frozen testcases
     <run_dir>/jobs.jsonl      one line per completed job result
+    <run_dir>/grants.jsonl    one line per scheduler grant decision
     <run_dir>/events.jsonl    campaign progress stream (diagnostics)
 
 The manifest freezes everything job results depend on — target, spec,
@@ -21,11 +22,21 @@ Manifest versions (any mismatch rejects the resume):
   (which since PR 3 also carries the ``evaluator=`` choice) and the
   strategy name, so a resume cannot silently re-search under different
   machinery.
-* **v3** (this PR): adds ``budget`` — the stopping-rule spec string
+* **v3** (PR 4): adds ``budget`` — the stopping-rule spec string
   (``fixed`` or ``adaptive:stable=K``). An adaptive campaign's journal
   contains only the chains its rule actually scheduled; resuming it
   under a different rule would re-decide which chains exist, so a
   changed budget is rejected like any other fingerprint field.
+* **v4** (this PR): adds ``interleave`` — the cross-kernel scheduling
+  policy (``none`` or ``roundrobin``). The policy decides the grant
+  order of the shared worker pool; results are bit-identical either
+  way, but a resumed campaign must not silently switch schedulers, so
+  the policy is frozen like every other fingerprint field. v4 run
+  directories also journal *grant decisions* in ``grants.jsonl``:
+  one record per scheduler decision (chain index, granted, reason).
+  Deterministic rules re-derive the same decisions on replay; the
+  clock-driven ``wallclock`` rule cannot, so a resume replays the
+  journaled decisions instead of re-consulting the clock.
 
 A run directory may also hold ``events.jsonl``, the campaign progress
 stream (:mod:`repro.engine.events`). It is diagnostic output, not
@@ -41,10 +52,10 @@ from pathlib import Path
 from repro.engine.serialize import Json, read_jsonl, require_fields
 from repro.errors import EngineError
 
-MANIFEST_VERSION = 3
+MANIFEST_VERSION = 4
 
 _FINGERPRINT_FIELDS = ("target", "spec", "annotations", "config",
-                       "cost", "strategy", "budget")
+                       "cost", "strategy", "budget", "interleave")
 
 
 class CheckpointStore:
@@ -54,6 +65,7 @@ class CheckpointStore:
         self.run_dir = Path(run_dir)
         self.manifest_path = self.run_dir / "manifest.json"
         self.journal_path = self.run_dir / "jobs.jsonl"
+        self.grants_path = self.run_dir / "grants.jsonl"
 
     def has_manifest(self) -> bool:
         return self.manifest_path.exists()
@@ -69,6 +81,7 @@ class CheckpointStore:
         tmp.write_text(json.dumps(payload, sort_keys=True))
         os.replace(tmp, self.manifest_path)
         self.journal_path.write_text("")
+        self.grants_path.write_text("")
 
     def load_manifest(self, expected_fingerprint: Json) -> Json:
         """Load and cross-check the manifest against this campaign.
@@ -105,14 +118,52 @@ class CheckpointStore:
             journal.flush()
             os.fsync(journal.fileno())
 
+    def record_grant(self, payload: Json) -> None:
+        """Append one scheduler grant decision, durably."""
+        line = json.dumps(payload, sort_keys=True)
+        with self.grants_path.open("a") as journal:
+            journal.write(line + "\n")
+            journal.flush()
+            os.fsync(journal.fileno())
+
+    def _healed_records(self, path: Path, what: str) -> list[Json]:
+        """Read an append-only journal, truncating a torn tail.
+
+        A torn trailing line (interrupted mid-write) is dropped — and
+        the file is rewritten without it, so a later append cannot
+        fuse a new record onto the fragment (which would corrupt the
+        journal on the *next* read).
+        """
+        if not path.exists():
+            return []
+        records = read_jsonl(path, what)
+        survivors = "".join(json.dumps(payload, sort_keys=True) + "\n"
+                            for payload in records)
+        if survivors != path.read_text():
+            # atomic + durable, like the manifest: a crash mid-heal
+            # must not cost the journal the records that survived
+            tmp = path.with_suffix(".jsonl.tmp")
+            with tmp.open("w") as handle:
+                handle.write(survivors)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        return records
+
+    def grants(self) -> list[Json]:
+        """Journaled grant decisions, in decision order."""
+        return self._healed_records(self.grants_path, "grants journal")
+
     def completed(self) -> dict[str, Json]:
         """All journaled results, keyed by job id.
 
-        A torn trailing line is dropped; a torn line anywhere else
-        means the journal was edited by hand and is an error.
+        A torn trailing line is dropped (and healed away, since the
+        resume that called this will append); a torn line anywhere
+        else means the journal was edited by hand and is an error.
         """
         results: dict[str, Json] = {}
-        for payload in read_jsonl(self.journal_path, "journal"):
+        for payload in self._healed_records(self.journal_path,
+                                            "journal"):
             if "job_id" not in payload:
                 raise EngineError(
                     f"journal record without job_id in "

@@ -17,10 +17,20 @@ must reject records whose version they do not know.
 Event types, in the order a campaign emits them::
 
     campaign-started    budget spec, worker count, planned chains
+    kernel-granted      one grant decision: a wave of chain jobs was
+                        admitted to (or denied) the shared pool
     chain-completed     one chain job finished (id, kind, counts)
     ranking-updated     running best ranking after a completed chain
     kernel-stopped      no more chains will be scheduled (reason)
-    campaign-finished   final verdict (verified, cycles, speedup)
+    campaign-finished   final verdict (verified, cycles, speedup,
+                        per-kernel chain counts and pool occupancy)
+
+Stream version 2 (this PR) added ``kernel-granted`` — the journal of
+the scheduler's grant decisions, which is what makes a ``wallclock``
+budget replayable: the decisions, not the clock, are what a resumed
+campaign re-reads — and extended ``campaign-finished`` with the
+per-kernel ``chains_scheduled`` / ``chains_saved`` / ``occupancy``
+fields a cross-kernel sweep reports.
 
 Like the checkpoint journal, the file is append-only, flushed per
 record, and a torn trailing line (the interrupt case) is dropped on
@@ -38,17 +48,18 @@ from typing import Callable
 from repro.engine.serialize import Json, read_jsonl, require_fields
 from repro.errors import EngineError
 
-EVENT_STREAM_VERSION = 1
+EVENT_STREAM_VERSION = 2
 
 CAMPAIGN_STARTED = "campaign-started"
+KERNEL_GRANTED = "kernel-granted"
 CHAIN_COMPLETED = "chain-completed"
 RANKING_UPDATED = "ranking-updated"
 KERNEL_STOPPED = "kernel-stopped"
 CAMPAIGN_FINISHED = "campaign-finished"
 
-EVENT_TYPES = frozenset({CAMPAIGN_STARTED, CHAIN_COMPLETED,
-                         RANKING_UPDATED, KERNEL_STOPPED,
-                         CAMPAIGN_FINISHED})
+EVENT_TYPES = frozenset({CAMPAIGN_STARTED, KERNEL_GRANTED,
+                         CHAIN_COMPLETED, RANKING_UPDATED,
+                         KERNEL_STOPPED, CAMPAIGN_FINISHED})
 
 
 @dataclass(frozen=True)
@@ -102,6 +113,13 @@ def format_event(event: ProgressEvent) -> str:
         return (f"[{event.kernel}] campaign started: "
                 f"budget={data.get('budget')} jobs={data.get('jobs')} "
                 f"chains<={data.get('chains_planned')}")
+    if event.event == KERNEL_GRANTED:
+        verdict = "granted" if data.get("granted") else "denied"
+        what = (f"chain {data.get('chain')}"
+                if data.get("chain") is not None
+                else f"{data.get('wave')} wave")
+        return (f"[{event.kernel}] {what} {verdict} "
+                f"({data.get('reason')}, {data.get('jobs')} jobs)")
     if event.event == CHAIN_COMPLETED:
         return (f"[{event.kernel}] chain {data.get('job_id')} done "
                 f"({data.get('verified')} verified, "
@@ -117,9 +135,13 @@ def format_event(event: ProgressEvent) -> str:
                 f"{data.get('chains_saved')} saved")
     assert event.event == CAMPAIGN_FINISHED
     verdict = "verified" if data.get("verified") else "unimproved"
-    return (f"[{event.kernel}] finished {verdict}: "
+    line = (f"[{event.kernel}] finished {verdict}: "
             f"{data.get('rewrite_cycles')} cycles "
             f"({data.get('speedup')}x)")
+    if "occupancy" in data:
+        line += (f" [{data.get('chains_scheduled')} chains, "
+                 f"occupancy {data.get('occupancy')}]")
+    return line
 
 
 ProgressListener = Callable[[ProgressEvent], None]

@@ -1,24 +1,28 @@
 """Job executors: same-process for tests and ``jobs=1``, a
 ``multiprocessing`` pool otherwise.
 
-Both executors consume :class:`ChainJob` lists and yield plain-JSON
-result payloads *as jobs complete* (the pool yields in completion
-order), so the campaign can journal each result the moment it exists.
-Payloads are identical regardless of executor — workers build them with
-the same code — which is what makes worker counts invisible in the
-final aggregate.
+Both executors speak the same submit/await protocol the cross-kernel
+scheduler drives: :meth:`submit` enqueues a wave of jobs for one
+kernel, :meth:`next_result` blocks until some submitted job finishes
+and returns its ``(kernel, payload)`` pair. Payloads are identical
+regardless of executor — workers build them with the same code — which
+is what makes worker counts invisible in the final aggregate.
 
-``run()`` may be called repeatedly on one executor: an adaptive-budget
-campaign submits the optimization wave one chain round at a time, and
-the process pool persists across rounds so workers are not re-forked
-per chain.
+The executor is shared by *every* kernel of a campaign sweep: contexts
+are keyed by kernel name and installed once per worker process, so an
+interleaved campaign keeps one warm pool saturated instead of forking
+a fresh pool per kernel. ``submit()`` may be called repeatedly: an
+incremental-budget campaign submits one chain round at a time, and the
+pool persists across rounds and kernels.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import queue
 import sys
-from typing import Iterable, Iterator
+from collections import deque
+from typing import Iterable
 
 from repro.engine import worker
 from repro.engine.jobs import ChainJob, job_from_json, job_to_json
@@ -28,14 +32,24 @@ from repro.errors import EngineError
 
 
 class SerialExecutor:
-    """Runs every job in the calling process, in plan order."""
+    """Runs every job in the calling process, in submission order."""
 
-    def __init__(self, context: CampaignContext) -> None:
-        self.context = context
+    def __init__(self, contexts: dict[str, CampaignContext]) -> None:
+        self.contexts = contexts
+        self._queue: deque[tuple[str, ChainJob]] = deque()
 
-    def run(self, jobs: Iterable[ChainJob]) -> Iterator[Json]:
+    def submit(self, kernel: str, jobs: Iterable[ChainJob]) -> int:
+        added = 0
         for job in jobs:
-            yield worker.run_chain_job(self.context, job)
+            self._queue.append((kernel, job))
+            added += 1
+        return added
+
+    def next_result(self) -> tuple[str, Json]:
+        if not self._queue:
+            raise EngineError("next_result with no submitted jobs")
+        kernel, job = self._queue.popleft()
+        return kernel, worker.run_chain_job(self.contexts[kernel], job)
 
     def close(self) -> None:
         pass
@@ -44,36 +58,45 @@ class SerialExecutor:
         pass
 
 
-# Per-process campaign context, installed once by the pool initializer
-# so the (identical) context is not re-shipped with every job.
-_PROCESS_CONTEXT: CampaignContext | None = None
+# Per-process campaign contexts, installed once by the pool initializer
+# so the (identical) contexts are not re-shipped with every job.
+_PROCESS_CONTEXTS: dict[str, CampaignContext] | None = None
 
 
-def _init_process(context_json: Json) -> None:
-    global _PROCESS_CONTEXT
-    _PROCESS_CONTEXT = worker.context_from_json(context_json)
+def _init_process(contexts_json: dict[str, Json]) -> None:
+    global _PROCESS_CONTEXTS
+    _PROCESS_CONTEXTS = {kernel: worker.context_from_json(payload)
+                         for kernel, payload in contexts_json.items()}
 
 
-def _run_job_in_process(job_json: Json) -> Json:
-    assert _PROCESS_CONTEXT is not None, "pool initializer did not run"
-    return worker.run_chain_job(_PROCESS_CONTEXT, job_from_json(job_json))
+def _run_job_in_process(task: tuple[str, Json]) -> tuple[str, Json]:
+    assert _PROCESS_CONTEXTS is not None, "pool initializer did not run"
+    kernel, job_json = task
+    context = _PROCESS_CONTEXTS[kernel]
+    return kernel, worker.run_chain_job(context, job_from_json(job_json))
 
 
 class ProcessPoolExecutor:
     """Fans jobs out across a ``multiprocessing`` pool.
 
     Jobs and results cross the process boundary as plain-JSON payloads;
-    the context is installed once per worker process by the pool
+    the contexts are installed once per worker process by the pool
     initializer. The pool is created lazily so planning errors surface
-    before any process is forked.
+    before any process is forked. Completed payloads (or worker
+    exceptions) land on an in-process queue via the async-result
+    callbacks, which is what lets the scheduler interleave grants from
+    many kernels while earlier waves are still in flight.
     """
 
-    def __init__(self, context: CampaignContext, jobs: int) -> None:
+    def __init__(self, contexts: dict[str, CampaignContext],
+                 jobs: int) -> None:
         if jobs < 2:
             raise EngineError("ProcessPoolExecutor needs jobs >= 2")
-        self.context = context
+        self.contexts = contexts
         self.jobs = jobs
         self._pool: multiprocessing.pool.Pool | None = None
+        self._results: queue.SimpleQueue = queue.SimpleQueue()
+        self._outstanding = 0
 
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
         if self._pool is None:
@@ -83,18 +106,34 @@ class ProcessPoolExecutor:
             method = ("fork" if "fork" in methods and
                       sys.platform != "darwin" else "spawn")
             ctx = multiprocessing.get_context(method)
+            contexts_json = {kernel: worker.context_to_json(context)
+                             for kernel, context in self.contexts.items()}
             self._pool = ctx.Pool(
                 processes=self.jobs,
                 initializer=_init_process,
-                initargs=(worker.context_to_json(self.context),))
+                initargs=(contexts_json,))
         return self._pool
 
-    def run(self, jobs: Iterable[ChainJob]) -> Iterator[Json]:
-        encoded = [job_to_json(job) for job in jobs]
-        if not encoded:
-            return
+    def submit(self, kernel: str, jobs: Iterable[ChainJob]) -> int:
         pool = self._ensure_pool()
-        yield from pool.imap_unordered(_run_job_in_process, encoded)
+        added = 0
+        for job in jobs:
+            pool.apply_async(
+                _run_job_in_process, ((kernel, job_to_json(job)),),
+                callback=self._results.put,
+                error_callback=self._results.put)
+            added += 1
+        self._outstanding += added
+        return added
+
+    def next_result(self) -> tuple[str, Json]:
+        if self._outstanding < 1:
+            raise EngineError("next_result with no submitted jobs")
+        item = self._results.get()
+        self._outstanding -= 1
+        if isinstance(item, BaseException):
+            raise item
+        return item
 
     def close(self) -> None:
         """Graceful shutdown: lets in-flight jobs finish."""
@@ -115,10 +154,11 @@ class ProcessPoolExecutor:
 Executor = SerialExecutor | ProcessPoolExecutor
 
 
-def make_executor(context: CampaignContext, jobs: int) -> Executor:
+def make_executor(contexts: dict[str, CampaignContext],
+                  jobs: int) -> Executor:
     """The right executor for a worker count (``jobs=1`` is serial)."""
     if jobs < 1:
         raise EngineError("jobs must be at least 1")
     if jobs == 1:
-        return SerialExecutor(context)
-    return ProcessPoolExecutor(context, jobs)
+        return SerialExecutor(contexts)
+    return ProcessPoolExecutor(contexts, jobs)

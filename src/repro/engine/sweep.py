@@ -1,0 +1,462 @@
+"""Cross-kernel campaign scheduling: many kernels, one worker pool.
+
+The paper's headline result comes from running many independent MCMC
+chains per kernel on a large cluster. Scheduling one kernel's chains
+at a time squanders that shape on a shared pool: a campaign drains to
+a single slow kernel's tail while finished kernels' slots sit idle.
+This module runs a whole sweep as *one* pool of jobs, granting chain
+rounds to kernels in round-robin (fair-share) order, gated by each
+kernel's budget rule, so the pool stays saturated until every kernel
+stops. (:func:`repro.engine.scheduler.interleave_rounds` is the pure,
+ungated specification of that rotation — the driver below implements
+the same discipline inline because grants also depend on budget
+decisions and in-flight barriers.)
+
+Determinism survives interleaving because nothing a kernel computes
+depends on any other kernel: each kernel's rounds keep their plan
+order, ids, and seeds; results aggregate per kernel in plan order; and
+stopping rules observe only their own kernel's plan-order signature
+sequence. Interleaving reorders *when* rounds run, never *which*
+rounds exist — so an interleaved campaign is bit-identical to a
+sequential one at any worker count.
+
+The one rule that is not a pure function of results is ``wallclock``:
+its grant decisions consult the campaign clock. Those decisions — not
+the clock — are therefore journaled (``grants.jsonl``, the v4
+checkpoint layout) and streamed (``kernel-granted`` events), and a
+resumed campaign replays the journal verbatim before making any live
+decision, which keeps replay deterministic even under a deadline.
+
+:class:`KernelSchedule` is one kernel's steppable state machine
+(synthesis wave → optimization rounds → final aggregate);
+:func:`run_campaigns` is the driver that interleaves any number of
+them over one executor. A single-kernel :meth:`Campaign.run` is just
+the one-schedule sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, TYPE_CHECKING
+
+from repro.engine import aggregator, scheduler
+from repro.engine.checkpoint import CheckpointStore
+from repro.engine.events import (CAMPAIGN_FINISHED, CAMPAIGN_STARTED,
+                                 CHAIN_COMPLETED, EventLog,
+                                 KERNEL_GRANTED, KERNEL_STOPPED,
+                                 RANKING_UPDATED)
+from repro.engine.executor import make_executor
+from repro.engine.jobs import ChainJob, JobResult, result_from_json
+from repro.engine.serialize import Json
+from repro.engine.worker import CampaignContext
+from repro.errors import EngineError
+from repro.perfsim.model import actual_runtime
+from repro.search.stoke import StokeResult
+from repro.x86.program import Program
+
+if TYPE_CHECKING:                               # pragma: no cover
+    from repro.engine.campaign import Campaign
+
+Clock = Callable[[], float]
+
+_SYNTHESIS = "synthesis"
+_OPTIMIZATION = "optimization"
+
+GRANT_SCHEDULED = "scheduled"
+
+
+class KernelSchedule:
+    """One kernel's campaign as a steppable state machine.
+
+    The cross-kernel driver holds one schedule per kernel and walks
+    them in fair-share rotation: :meth:`next_grant` returns the next
+    wave of jobs this kernel wants in the pool (or None while it waits
+    on in-flight results), :meth:`complete` feeds one finished job
+    back. The schedule journals, emits progress events, consults its
+    budget rule at every grant, and aggregates its own final result —
+    everything :class:`Campaign` used to do inline, reshaped so many
+    kernels can share one executor.
+    """
+
+    def __init__(self, campaign: Campaign, *,
+                 clock: Clock = time.perf_counter) -> None:
+        self.campaign = campaign
+        self.name = campaign.name
+        self.clock = clock
+        options = campaign.options
+        config = campaign.config
+        self.store = (CheckpointStore(options.run_dir)
+                      if options.run_dir is not None else None)
+        self.testcases, self.completed = campaign._initial_state(
+            self.store)
+        self.events = EventLog(
+            path=(None if self.store is None
+                  else self.store.run_dir / "events.jsonl"),
+            listener=options.progress,
+            append=options.resume)
+        self.rule = campaign.budget.rule()
+        self.context = CampaignContext(
+            target=campaign.target, spec=campaign.spec,
+            annotations=campaign.annotations, config=config,
+            testcases=self.testcases, validator=campaign.validator,
+            cost=campaign.cost, strategy=campaign.strategy)
+        self.chains_planned = (config.synthesis_chains +
+                               config.optimization_chains)
+        # grant decisions journaled by an interrupted run, replayed
+        # verbatim (the wallclock rule's determinism-on-resume seam)
+        self._replay: deque[Json] = deque(
+            self.store.grants()
+            if self.store is not None and options.resume else ())
+        # phase state
+        self._phase = _SYNTHESIS
+        self._synth_plan = scheduler.synthesis_jobs(config)
+        self._synth_granted = False
+        self._synth_results: list[JobResult] = []
+        self._starts: list[Program] = []
+        self._rounds = None
+        self._pending_round: list[ChainJob] | None = None
+        self._opt_plan: list[ChainJob] = []
+        self._decoded: dict[str, JobResult] = {}
+        self._opt_granted_all = False
+        self._granted_chains = 0
+        self._observed_chains = 0
+        self._in_flight: set[str] = set()
+        self._result: StokeResult | None = None
+        self._start_time = 0.0
+        self._synth_seconds = 0.0
+        self._opt_start_time = 0.0
+
+    # -- driver protocol ------------------------------------------------------
+
+    def start(self) -> None:
+        self._start_time = self.clock()
+        self.events.emit(CAMPAIGN_STARTED, self.name,
+                         budget=self.campaign.budget.spec_string(),
+                         jobs=self.campaign.options.jobs,
+                         chains_planned=self.chains_planned)
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None
+
+    @property
+    def result(self) -> StokeResult:
+        assert self._result is not None, "campaign still running"
+        return self._result
+
+    def complete(self, payload: Json) -> None:
+        """Feed one finished job's payload back into the schedule."""
+        job_id = payload["job_id"]
+        self.completed[job_id] = payload
+        if self.store is not None:
+            self.store.record(payload)
+        self.events.emit(CHAIN_COMPLETED, self.name,
+                         job_id=job_id,
+                         kind=payload["kind"],
+                         verified=len(payload["verified"]),
+                         new_testcases=len(payload["new_testcases"]))
+        self._in_flight.discard(job_id)
+
+    def next_grant(self, elapsed: float) -> list[ChainJob] | None:
+        """The next wave of jobs to submit, or None.
+
+        None means the kernel is waiting on in-flight results (or has
+        finished). The method advances every phase transition that
+        needs no new execution — a wave satisfied entirely from the
+        resume journal completes instantly and the loop rolls on to
+        the next grant decision.
+        """
+        while True:
+            if self._result is not None or self._in_flight:
+                return None
+            if self._phase == _SYNTHESIS:
+                if not self._synth_granted:
+                    self._synth_granted = True
+                    if self._synth_plan:
+                        pending = self._admit_wave(self._synth_plan,
+                                                   wave=_SYNTHESIS,
+                                                   chain=None,
+                                                   reason=GRANT_SCHEDULED)
+                        if pending:
+                            return pending
+                    continue
+                self._finish_synthesis()
+                continue
+            assert self._phase == _OPTIMIZATION
+            if not self.rule.incremental:
+                grant = self._grant_full_wave()
+                if grant is None:
+                    continue
+                return grant
+            grant = self._grant_next_round(elapsed)
+            if grant is None:
+                continue
+            return grant
+
+    # -- phase transitions ----------------------------------------------------
+
+    def _admit_wave(self, jobs: list[ChainJob], *, wave: str,
+                    chain: int | None, reason: str) -> list[ChainJob]:
+        """Admit one granted wave: emit the grant event, return the
+        jobs not already satisfied by the resume journal."""
+        self.events.emit(KERNEL_GRANTED, self.name, wave=wave,
+                         chain=chain, granted=True, reason=reason,
+                         jobs=len(jobs))
+        pending = [job for job in jobs
+                   if job.job_id not in self.completed]
+        self._in_flight.update(job.job_id for job in pending)
+        return pending
+
+    def _result_for(self, job_id: str) -> JobResult:
+        """The decoded result for one completed job, parsed once.
+
+        Per-round observations walk the whole plan-so-far; decoding a
+        payload (programs through the x86 parser, testcases) on every
+        walk would make observation quadratic in chains."""
+        result = self._decoded.get(job_id)
+        if result is None:
+            result = result_from_json(self.completed[job_id])
+            self._decoded[job_id] = result
+        return result
+
+    def _finish_synthesis(self) -> None:
+        self._synth_results = [self._result_for(job.job_id)
+                               for job in self._synth_plan]
+        self._synth_seconds = self.clock() - self._start_time
+        self._starts = aggregator.synthesis_starts(
+            self.campaign.target, self._synth_results)
+        self._rounds = scheduler.optimization_rounds(
+            self.campaign.config, self._starts)
+        self._opt_start_time = self.clock()
+        self._phase = _OPTIMIZATION
+
+    def _grant_full_wave(self) -> list[ChainJob] | None:
+        """Non-incremental rules submit the whole plan as one wave —
+        exactly the pre-budget engine."""
+        if self._opt_granted_all:
+            # wave complete (nothing in flight): aggregate
+            self._finalize("exhausted")
+            return None
+        self._opt_granted_all = True
+        self._opt_plan = [job for round_jobs in self._rounds
+                          for job in round_jobs]
+        self._granted_chains = self.campaign.config.optimization_chains
+        if self._opt_plan:
+            pending = self._admit_wave(self._opt_plan,
+                                       wave=_OPTIMIZATION, chain=None,
+                                       reason=GRANT_SCHEDULED)
+            if pending:
+                return pending
+        return None
+
+    def _grant_next_round(self, elapsed: float) -> list[ChainJob] | None:
+        """One grant decision under an incremental rule."""
+        if self._observed_chains < self._granted_chains:
+            self._observe_round()
+        granted, reason = self._grant_decision(elapsed)
+        if not granted:
+            self.events.emit(KERNEL_GRANTED, self.name,
+                             wave=_OPTIMIZATION,
+                             chain=self._granted_chains,
+                             granted=False, reason=reason, jobs=0)
+            self._finalize(reason)
+            return None
+        if self._pending_round is None:
+            self._pending_round = next(self._rounds, None)
+        if self._pending_round is None:
+            self._finalize("exhausted")
+            return None
+        round_jobs = self._pending_round
+        self._pending_round = None
+        chain = self._granted_chains
+        self._granted_chains += 1
+        self._opt_plan.extend(round_jobs)
+        pending = self._admit_wave(round_jobs, wave=_OPTIMIZATION,
+                                   chain=chain, reason=reason)
+        if pending:
+            return pending
+        return None                     # round satisfied from journal
+
+    # -- grant decisions ------------------------------------------------------
+
+    def _grant_decision(self, elapsed: float) -> tuple[bool, str]:
+        """Grant or deny the next chain; replayed on resume.
+
+        Fresh decisions ask the rule (the wallclock rule consults
+        ``elapsed``) and are journaled; a resumed campaign replays the
+        journal verbatim instead, so the set of chains a run schedules
+        is reproducible even when the deciding input was a clock.
+        """
+        chain = self._granted_chains
+        if self._replay:
+            record = self._replay.popleft()
+            if record.get("chain") != chain:
+                raise EngineError(
+                    f"grants journal out of order for {self.name}: "
+                    f"expected chain {chain}, found "
+                    f"{record.get('chain')}")
+            return bool(record["granted"]), str(record["reason"])
+        granted = self.rule.grant(elapsed)
+        reason = GRANT_SCHEDULED if granted else self.rule.stop_reason
+        if self.store is not None:
+            self.store.record_grant({"chain": chain,
+                                     "granted": granted,
+                                     "reason": reason})
+        return granted, reason
+
+    def _observe_round(self) -> None:
+        """Feed the just-completed round's running ranking to the rule."""
+        self._observed_chains += 1
+        if not self.rule.needs_ranking:
+            return
+        results = self._opt_results()
+        merged = aggregator.merge_testcases(
+            self.testcases, self._synth_results + results)
+        signature = aggregator.best_signature(
+            self.campaign.target, self.campaign.config, merged,
+            results, cost=self.campaign.cost)
+        self.rule.observe(signature)
+        self.events.emit(RANKING_UPDATED, self.name,
+                         chains_completed=self._observed_chains,
+                         best_cycles=signature[1],
+                         stable_chains=self.rule.stable_chains)
+
+    # -- aggregation ----------------------------------------------------------
+
+    def _opt_results(self) -> list[JobResult]:
+        return [self._result_for(job.job_id)
+                for job in self._opt_plan]
+
+    def _finalize(self, reason: str) -> None:
+        campaign = self.campaign
+        config = campaign.config
+        chains_scheduled = (config.synthesis_chains +
+                            self._granted_chains)
+        chains_saved = self.chains_planned - chains_scheduled
+        self.events.emit(KERNEL_STOPPED, self.name,
+                         reason=reason,
+                         chains_scheduled=chains_scheduled,
+                         chains_saved=chains_saved)
+        opt_results = self._opt_results()
+        merged = aggregator.merge_testcases(
+            self.testcases, self._synth_results + opt_results)
+        ranked = aggregator.final_ranking(campaign.target, config,
+                                          merged, opt_results,
+                                          cost=campaign.cost)
+        target_cycles = actual_runtime(campaign.target.compact())
+        rewrite: Program | None = None
+        rewrite_cycles = target_cycles
+        if ranked:
+            best = ranked[0]
+            if best.cycles <= target_cycles:
+                rewrite = best.program.compact()
+                rewrite_cycles = best.cycles
+        now = self.clock()
+        result = StokeResult(
+            target=campaign.target,
+            rewrite=rewrite,
+            verified=rewrite is not None,
+            target_cycles=target_cycles,
+            rewrite_cycles=rewrite_cycles,
+            ranked=ranked,
+            synthesis=[r.phase_result() for r in self._synth_results],
+            optimization=[r.phase_result() for r in opt_results],
+            testcases=merged,
+            seconds=now - self._start_time,
+            synthesis_seconds=self._synth_seconds,
+            optimization_seconds=now - self._opt_start_time,
+            chains_scheduled=chains_scheduled,
+            chains_saved=chains_saved,
+        )
+        occupancy = (round(chains_scheduled / self.chains_planned, 4)
+                     if self.chains_planned else 0.0)
+        self.events.emit(CAMPAIGN_FINISHED, self.name,
+                         verified=result.verified,
+                         rewrite_cycles=result.rewrite_cycles,
+                         speedup=round(result.speedup, 4),
+                         chains_scheduled=chains_scheduled,
+                         chains_saved=chains_saved,
+                         occupancy=occupancy)
+        self._result = result
+
+
+def run_campaigns(campaigns: list[Campaign], *,
+                  clock: Clock = time.perf_counter) \
+        -> list[StokeResult]:
+    """Run any number of campaigns over one shared worker pool.
+
+    The driver grants waves in fair-share rotation (each pass visits
+    every kernel in list order and admits at most one wave per
+    kernel), then blocks for one completed job and feeds it back to
+    its schedule — so slow kernels' rounds interleave with fast ones'
+    instead of serializing behind them. Results return in input
+    order; every campaign must share one worker count, and kernel
+    names must be unique (they key the shared pool's contexts).
+    """
+    if not campaigns:
+        return []
+    jobs = campaigns[0].options.jobs
+    for campaign in campaigns:
+        if campaign.options.jobs != jobs:
+            raise EngineError(
+                "all campaigns in one sweep must share a worker count")
+    if len(campaigns) > 1 and not all(c.options.interleave
+                                      for c in campaigns):
+        # a multi-kernel sweep IS the round-robin scheduler; running
+        # one with interleave=False options would stamp 'none' into
+        # every v4 manifest while actually interleaving — the silent
+        # policy switch the fingerprint exists to reject. Sequential
+        # sweeps run each campaign on its own (campaign.run()).
+        raise EngineError(
+            "a multi-kernel sweep interleaves; its campaigns must "
+            "carry EngineOptions(interleave=True) — run campaigns "
+            "one at a time for a sequential sweep")
+    names = [campaign.name for campaign in campaigns]
+    if len(set(names)) != len(names):
+        raise EngineError(
+            f"duplicate kernel names in one sweep: {sorted(names)}")
+    run_dirs = [str(campaign.options.run_dir) for campaign in campaigns
+                if campaign.options.run_dir is not None]
+    if len(set(run_dirs)) != len(run_dirs):
+        # job ids are kernel-agnostic, so two kernels sharing one
+        # journal would fuse their records and poison a later resume
+        raise EngineError(
+            "campaigns in one sweep must not share a run directory")
+    schedules = [KernelSchedule(campaign, clock=clock)
+                 for campaign in campaigns]
+    by_name = {schedule.name: schedule for schedule in schedules}
+    executor = make_executor(
+        {schedule.name: schedule.context for schedule in schedules},
+        jobs)
+    start = clock()
+    outstanding = 0
+    try:
+        for schedule in schedules:
+            schedule.start()
+        while True:
+            progressed = True
+            while progressed:
+                progressed = False
+                for schedule in schedules:       # fair-share rotation
+                    pending = schedule.next_grant(clock() - start)
+                    if pending:
+                        outstanding += executor.submit(schedule.name,
+                                                       pending)
+                        progressed = True
+            if all(schedule.done for schedule in schedules):
+                break
+            if outstanding < 1:
+                raise EngineError("campaign scheduler stalled with "
+                                  "no jobs in flight")
+            kernel, payload = executor.next_result()
+            outstanding -= 1
+            by_name[kernel].complete(payload)
+    except BaseException:
+        # don't block an error or Ctrl-C on queued chains; the
+        # journal already holds everything worth keeping
+        executor.terminate()
+        raise
+    else:
+        executor.close()
+    return [schedule.result for schedule in schedules]

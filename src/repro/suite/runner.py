@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.engine.campaign import EngineOptions
 from repro.perfsim.model import actual_runtime
@@ -93,6 +94,21 @@ class BenchmarkOutcome:
                 f"{'' if self.stoke_verified else '  (unverified)'}")
 
 
+def _session(bench: Benchmark, *, seed: int, synthesis: bool,
+             chains: int, engine: EngineOptions | None,
+             evaluator: str | None):
+    """The assembled :class:`Session` for one benchmark's O0 target."""
+    from repro.api.session import Session
+    from repro.api.targets import Target
+    config = search_config(bench, seed=seed, synthesis=synthesis,
+                           chains=chains)
+    return Session(
+        Target(program=bench.o0, spec=bench.spec,
+               annotations=bench.annotations, name=bench.name),
+        config=config, validator=Validator(), engine=engine,
+        evaluator=evaluator)
+
+
 def run_stoke(bench: Benchmark, *, seed: int = 0,
               synthesis: bool = False,
               chains: int = 1,
@@ -103,31 +119,16 @@ def run_stoke(bench: Benchmark, *, seed: int = 0,
     Runs through :class:`Session` (the same path the ``Stoke`` shim
     takes) so progress events carry the kernel's name.
     """
-    from repro.api.session import Session
-    from repro.api.targets import Target
-    config = search_config(bench, seed=seed, synthesis=synthesis,
-                           chains=chains)
-    session = Session(
-        Target(program=bench.o0, spec=bench.spec,
-               annotations=bench.annotations, name=bench.name),
-        config=config, validator=Validator(), engine=engine,
-        evaluator=evaluator)
-    return session.run().stoke
+    return _session(bench, seed=seed, synthesis=synthesis,
+                    chains=chains, engine=engine,
+                    evaluator=evaluator).run().stoke
 
 
-def evaluate_benchmark(bench: Benchmark, *, seed: int = 0,
-                       synthesis: bool = False,
-                       chains: int = 1,
-                       engine: EngineOptions | None = None,
-                       evaluator: str | None = None) \
-        -> BenchmarkOutcome:
-    """Measure the Figure 10 column for one kernel."""
+def _outcome(bench: Benchmark, result: StokeResult) -> BenchmarkOutcome:
+    """The Figure 10 column for one kernel's campaign result."""
     o0_cycles = actual_runtime(bench.o0.compact())
     gcc_cycles = actual_runtime(bench.gcc.compact())
     icc_cycles = actual_runtime(bench.icc.compact())
-    result = run_stoke(bench, seed=seed, synthesis=synthesis,
-                       chains=chains, engine=engine,
-                       evaluator=evaluator)
     stoke_cycles = result.rewrite_cycles
     return BenchmarkOutcome(
         name=bench.name,
@@ -144,3 +145,48 @@ def evaluate_benchmark(bench: Benchmark, *, seed: int = 0,
         chains_scheduled=result.chains_scheduled,
         chains_saved=result.chains_saved,
     )
+
+
+def evaluate_benchmark(bench: Benchmark, *, seed: int = 0,
+                       synthesis: bool = False,
+                       chains: int = 1,
+                       engine: EngineOptions | None = None,
+                       evaluator: str | None = None) \
+        -> BenchmarkOutcome:
+    """Measure the Figure 10 column for one kernel."""
+    result = run_stoke(bench, seed=seed, synthesis=synthesis,
+                       chains=chains, engine=engine,
+                       evaluator=evaluator)
+    return _outcome(bench, result)
+
+
+def evaluate_campaign(benches: list[Benchmark], *, seed: int = 0,
+                      synthesis: bool = False, chains: int = 1,
+                      engine_for: Callable[[Benchmark],
+                                           EngineOptions] | None = None,
+                      evaluator: str | None = None) \
+        -> list[BenchmarkOutcome]:
+    """Measure many kernels as one interleaved, shared-pool campaign.
+
+    The cross-kernel scheduler grants chain rounds round-robin across
+    every kernel, so ``--jobs N`` stays saturated until the last
+    kernel stops — per-kernel results are bit-identical to running
+    :func:`evaluate_benchmark` kernel by kernel. Per-kernel seeds
+    follow the sequential sweep's scheme (``seed + index``) so the two
+    paths stay comparable; ``engine_for`` supplies each kernel's
+    options (run directory, resume, budget) like the sequential loop
+    would — they must carry ``interleave=True``, since this *is* the
+    interleaving scheduler and each kernel's manifest records that.
+    """
+    from repro.engine.sweep import run_campaigns
+    engine_for = engine_for or (
+        lambda bench: EngineOptions(interleave=True))
+    sessions = [
+        _session(bench, seed=seed + index, synthesis=synthesis,
+                 chains=chains, engine=engine_for(bench),
+                 evaluator=evaluator)
+        for index, bench in enumerate(benches)]
+    campaigns = [session.campaign() for session in sessions]
+    results = run_campaigns(campaigns)
+    return [_outcome(bench, result)
+            for bench, result in zip(benches, results)]

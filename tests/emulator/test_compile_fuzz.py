@@ -1,0 +1,142 @@
+"""Property-based differential fuzzing: compiled vs reference evaluator.
+
+The compiled fast path's admissibility rests on one property: for any
+candidate the proposal distribution can produce, running it compiled
+over pooled, undo-restored machine states is bit-identical to running
+it on the reference emulator over fresh states — same registers,
+flags, memory, definedness, Eq. 11 event counters, and therefore the
+same cost. These tests state that property over a *generated* program
+space (in the SpecFuzz spirit of surfacing latent behaviors by
+fuzzing): random straight-line candidates drawn through the move
+generator with fixed seeds, ~500 programs x 8 testcases per run,
+across kernels whose live specs cover registers, flags, and memory.
+
+The budget is an env knob so CI can wire the suite in cheaply::
+
+    REPRO_FUZZ_PROGRAMS=120 pytest tests/emulator/test_compile_fuzz.py
+
+Any failure prints the offending program, so a refuted property lands
+as a reproducible counterexample, not a flake.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.cost.correctness import CostWeights
+from repro.cost.correctness import testcase_cost as eq_cost
+from repro.cost.function import CostFunction, Phase
+from repro.emulator.compile import compile_program
+from repro.emulator.cpu import Emulator
+from repro.emulator.state import MachineState
+from repro.search.config import SearchConfig
+from repro.search.moves import MoveGenerator
+from repro.suite.registry import benchmark
+from repro.testgen.generator import TestcaseGenerator
+
+# ~500 programs by default; CI and quick local runs shrink the budget
+# through the env var without touching the (fixed) seeds.
+PROGRAM_BUDGET = max(10, int(os.environ.get("REPRO_FUZZ_PROGRAMS",
+                                            "500")))
+TESTCASE_COUNT = 8
+
+# live specs that cover plain registers (p01), flag consumers (p12,
+# p14), wider programs (p18), and memory in/out (saxpy)
+FUZZ_KERNELS = ("p01", "p12", "p14", "p18", "saxpy")
+PER_KERNEL = max(2, PROGRAM_BUDGET // len(FUZZ_KERNELS))
+
+
+def _testcases(bench):
+    generator = TestcaseGenerator(bench.o0, bench.spec,
+                                  bench.annotations, seed=11)
+    return generator.generate(TESTCASE_COUNT)
+
+
+def _snapshot(state: MachineState) -> tuple:
+    return (dict(state.regs), dict(state.reg_defined),
+            dict(state.flags), dict(state.flag_defined),
+            dict(state.memory),
+            (state.events.sigsegv, state.events.sigfpe,
+             state.events.undef))
+
+
+def _assert_bit_identical(prog, testcase) -> None:
+    reference = testcase.initial_state()
+    Emulator(reference, testcase.sandbox()).run(prog)
+    pooled = testcase.reset_into(MachineState())
+    compile_program(prog).run(pooled, testcase.sandbox())
+    assert _snapshot(reference) == _snapshot(pooled), str(prog)
+    weights = CostWeights()
+    assert eq_cost(reference, testcase, weights) == \
+        eq_cost(pooled, testcase, weights), str(prog)
+
+
+def _fuzz_programs(bench, count, seed):
+    """``count`` candidates: half fresh random programs, half one
+    mutating proposal chain (shared instruction objects, warm caches)."""
+    compacted = bench.o0.compact()
+    config = SearchConfig(ell=max(8, len(compacted.code) + 4))
+    rng = random.Random(seed)
+    moves = MoveGenerator(bench.o0, config, rng)
+    programs = [moves.random_program() for _ in range(count // 2)]
+    prog = compacted.padded(config.ell)
+    for _ in range(count - len(programs)):
+        prog, _kind = moves.propose(prog)
+        programs.append(prog)
+    return programs
+
+
+@pytest.mark.parametrize("kernel", FUZZ_KERNELS)
+def test_generated_programs_bit_identical(kernel):
+    """The headline property, per machine-state component and cost."""
+    bench = benchmark(kernel)
+    testcases = _testcases(bench)
+    for prog in _fuzz_programs(bench, PER_KERNEL, seed=20260727):
+        for testcase in testcases:
+            _assert_bit_identical(prog, testcase)
+
+
+@pytest.mark.parametrize("kernel", ("p12", "saxpy"))
+def test_pooled_state_reuse_after_undo(kernel):
+    """One pooled evaluator across the whole candidate stream.
+
+    The compiled path reuses per-testcase machine states, undoing each
+    candidate's static write set in place. If an undo ever missed a
+    write, the *next* candidate's cost would diverge from a fresh
+    reference evaluation — so the stream is scored through one
+    long-lived compiled CostFunction against a reference one, and the
+    first candidate is re-scored at the end (its pooled states have
+    by then been reused by every other candidate)."""
+    bench = benchmark(kernel)
+    testcases = _testcases(bench)
+    compiled_fn = CostFunction(testcases, bench.o0,
+                               phase=Phase.OPTIMIZATION,
+                               evaluator="compiled")
+    reference_fn = CostFunction(testcases, bench.o0,
+                                phase=Phase.OPTIMIZATION,
+                                evaluator="reference")
+    programs = _fuzz_programs(bench, PER_KERNEL, seed=7)
+    first = programs[0]
+    first_value = None
+    for prog in programs:
+        compiled = compiled_fn.evaluate(prog)
+        reference = reference_fn.evaluate(prog)
+        assert compiled.value == reference.value, str(prog)
+        assert compiled.eq_term == reference.eq_term, str(prog)
+        if prog is first:
+            first_value = compiled.value
+    again = compiled_fn.evaluate(first)
+    assert again.value == first_value, \
+        "pooled-state reuse leaked between candidates"
+
+
+def test_fuzz_seeds_are_deterministic():
+    """The generator itself is a fixture: same seed, same programs —
+    a failure here means a 'fixed-seed' fuzz run is not reproducible."""
+    bench = benchmark("p14")
+    first = [str(p) for p in _fuzz_programs(bench, 12, seed=3)]
+    second = [str(p) for p in _fuzz_programs(bench, 12, seed=3)]
+    assert first == second

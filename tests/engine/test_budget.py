@@ -8,7 +8,8 @@ worker count.
 
 import pytest
 
-from repro.engine.budget import (BudgetSpec, FixedRule, StableRule,
+from repro.engine.budget import (BudgetSpec, FixedRule, PlateauRule,
+                                 StableRule, WallclockRule,
                                  available_budgets, register_budget)
 from repro.engine.campaign import Campaign, EngineOptions
 from repro.errors import RegistryError
@@ -51,6 +52,38 @@ def test_adaptive_defaults_stable_chains():
     assert BudgetSpec.parse("adaptive").stable == 2
 
 
+def test_plateau_spec_round_trips():
+    spec = BudgetSpec.parse("plateau:eps=1.5,stable=3")
+    assert spec.kind == "plateau"
+    assert spec.eps == 1.5 and spec.stable == 3
+    assert spec.spec_string() == "plateau:eps=1.5,stable=3"
+    assert BudgetSpec.parse(spec.spec_string()) == spec
+    assert isinstance(spec.rule(), PlateauRule)
+    # whole eps prints without a trailing .0 (canonical manifests)
+    assert BudgetSpec.parse("plateau:eps=1,stable=2").spec_string() \
+        == "plateau:eps=1,stable=2"
+
+
+def test_spec_string_is_a_lossless_fingerprint():
+    """%g alone would collapse nearby values into one manifest string,
+    letting a resume under a *changed* deadline slip through."""
+    close = (BudgetSpec(kind="wallclock", secs=1234567.8),
+             BudgetSpec(kind="wallclock", secs=1234568.9))
+    assert close[0].spec_string() != close[1].spec_string()
+    for spec in close + (BudgetSpec(kind="plateau", eps=0.1 + 0.2),):
+        assert BudgetSpec.parse(spec.spec_string()) == spec
+
+
+def test_wallclock_spec_round_trips():
+    spec = BudgetSpec.parse("wallclock:secs=90")
+    assert spec.kind == "wallclock" and spec.secs == 90.0
+    assert spec.spec_string() == "wallclock:secs=90"
+    assert BudgetSpec.parse(spec.spec_string()) == spec
+    assert isinstance(spec.rule(), WallclockRule)
+    # the default deadline is the paper's 30-minute cluster budget
+    assert BudgetSpec.parse("wallclock").secs == 1800.0
+
+
 def test_parse_accepts_spec_instances():
     spec = BudgetSpec(kind="adaptive", stable=4)
     assert BudgetSpec.parse(spec) is spec
@@ -62,10 +95,32 @@ def test_parse_accepts_spec_instances():
     "adaptive:patience=3",         # unknown parameter
     "adaptive:stable=0",           # out of range
     "fixed:stable=3",              # fixed takes no parameters
+    "adaptive:eps=1",              # eps belongs to plateau
+    "plateau:eps=0,stable=2",      # eps must be positive
+    "plateau:eps=oops",            # non-numeric parameter
+    "plateau:secs=9",              # secs belongs to wallclock
+    "wallclock:secs=0",            # deadline must be positive
+    "wallclock:secs=-5",           # ... and not negative
+    "wallclock:stable=2",          # stable belongs elsewhere
 ])
 def test_bad_specs_fail_at_the_flag(text):
     with pytest.raises(RegistryError):
         BudgetSpec.parse(text)
+
+
+def test_custom_budget_kinds_accept_known_parameters():
+    """register_budget's factories read parameters off the parsed
+    spec, so a custom kind must still parse stable/eps/secs."""
+    register_budget("patience-test", lambda spec: StableRule(spec.stable))
+    try:
+        spec = BudgetSpec.parse("patience-test:stable=3,eps=0.5")
+        assert spec.stable == 3 and spec.eps == 0.5
+        assert isinstance(spec.rule(), StableRule)
+        with pytest.raises(RegistryError, match="bad budget parameter"):
+            BudgetSpec.parse("patience-test:warp=1")
+    finally:
+        from repro.engine import budget as budget_module
+        del budget_module._BUDGETS["patience-test"]
 
 
 def test_budget_registry_is_open():
@@ -104,6 +159,46 @@ def test_fixed_rule_never_stops():
     for _ in range(100):
         rule.observe(("same", 1))
     assert not rule.should_stop() and rule.stable_chains == 0
+
+
+def test_plateau_rule_stops_when_improvement_falls_below_eps():
+    rule = PlateauRule(eps=2.0, stable=2)
+    assert rule.incremental and rule.needs_ranking
+    rule.observe(("a", 20))
+    assert not rule.should_stop()
+    rule.observe(("b", 15))                 # -5: real progress
+    assert rule.stable_chains == 0 and not rule.should_stop()
+    rule.observe(("c", 14))                 # -1 < eps
+    assert rule.stable_chains == 1 and not rule.should_stop()
+    rule.observe(("c", 14))                 # flat
+    assert rule.stable_chains == 2 and rule.should_stop()
+    assert rule.grant(elapsed=0.0) is False
+    assert rule.stop_reason == "plateau"
+
+
+def test_plateau_rule_tolerates_ranking_churn_among_near_ties():
+    """Unlike StableRule, a changed best *program* at unchanged cycles
+    still counts toward the plateau."""
+    plateau = PlateauRule(eps=1.0, stable=2)
+    stable = StableRule(stable=2)
+    for signature in (("a", 9), ("b", 9), ("c", 9)):
+        plateau.observe(signature)
+        stable.observe(signature)
+    assert plateau.should_stop()
+    assert not stable.should_stop()         # program kept changing
+
+
+def test_wallclock_rule_denies_grants_past_the_deadline():
+    rule = WallclockRule(secs=30.0)
+    assert rule.incremental and not rule.needs_ranking
+    assert rule.grant(elapsed=0.0)
+    assert rule.grant(elapsed=29.9)
+    assert not rule.grant(elapsed=30.0)
+    assert not rule.grant(elapsed=1e9)
+    # ranking feedback never changes the verdict
+    rule.observe(("a", 1))
+    assert not rule.should_stop() and rule.stable_chains == 0
+    assert rule.stop_reason == "deadline"
 
 
 # -- adaptive campaigns -------------------------------------------------------

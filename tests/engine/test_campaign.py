@@ -111,6 +111,27 @@ def test_resume_with_no_prior_run_is_an_error(tmp_path):
                                 resume=True)).run()
 
 
+def test_torn_journal_tail_is_healed_before_appending(tmp_path):
+    """A torn trailing line must be truncated on resume, not fused
+    with the re-run chain's appended record (which would corrupt the
+    journal for every later resume)."""
+    run_dir = tmp_path / "run"
+    full = _campaign(EngineOptions(jobs=1, run_dir=run_dir)).run()
+    journal = run_dir / "jobs.jsonl"
+    lines = journal.read_text().splitlines()
+    journal.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:30])
+    options = EngineOptions(jobs=1, run_dir=run_dir, resume=True)
+    first = _campaign(options).run()
+    # every journal line must parse again — no fused fragment
+    healed = journal.read_text().splitlines()
+    assert len(healed) == 3
+    for line in healed:
+        json.loads(line)
+    second = _campaign(options).run()
+    assert _ranking_key(first) == _ranking_key(full)
+    assert _ranking_key(second) == _ranking_key(full)
+
+
 def test_corrupt_mid_journal_line_is_an_error(tmp_path):
     run_dir = tmp_path / "run"
     _campaign(EngineOptions(jobs=1, run_dir=run_dir)).run()
@@ -140,10 +161,11 @@ def test_manifest_freezes_testcases(tmp_path):
     _campaign(EngineOptions(jobs=1, run_dir=run_dir)).run()
     manifest = json.loads((run_dir / "manifest.json").read_text())
     assert len(manifest["testcases"]) == CONFIG.testcase_count
-    assert manifest["version"] == 3
+    assert manifest["version"] == 4
     assert manifest["cost"] == "correctness,latency"
     assert manifest["strategy"] == "mcmc"
     assert manifest["budget"] == "fixed"
+    assert manifest["interleave"] == "none"
 
 
 def test_resume_rejects_changed_budget(tmp_path):
@@ -154,16 +176,19 @@ def test_resume_rejects_changed_budget(tmp_path):
                                 budget="adaptive:stable=2")).run()
 
 
-def test_resume_of_v2_manifest_is_a_version_error(tmp_path):
-    """A PR-2/3 era manifest (no budget field) must fail on version,
-    not on a confusing missing-field message."""
+def test_resume_of_old_manifests_is_a_version_error(tmp_path):
+    """A prior-era manifest (missing newer fingerprint fields) must
+    fail on version, not on a confusing missing-field message."""
     run_dir = tmp_path / "run"
     _campaign(EngineOptions(jobs=1, run_dir=run_dir)).run()
     manifest_path = run_dir / "manifest.json"
-    manifest = json.loads(manifest_path.read_text())
-    manifest["version"] = 2
-    del manifest["budget"]
-    manifest_path.write_text(json.dumps(manifest))
-    with pytest.raises(EngineError, match="version 2 is not 3"):
-        _campaign(EngineOptions(jobs=1, run_dir=run_dir,
-                                resume=True)).run()
+    pristine = manifest_path.read_text()
+    for version, dropped in ((2, "budget"), (3, "interleave")):
+        manifest = json.loads(pristine)
+        manifest["version"] = version
+        del manifest[dropped]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(EngineError,
+                           match=f"version {version} is not 4"):
+            _campaign(EngineOptions(jobs=1, run_dir=run_dir,
+                                    resume=True)).run()

@@ -106,6 +106,91 @@ def test_engine_campaign_rejects_bad_budget(capsys):
     assert "unknown budget" in capsys.readouterr().err
 
 
+def test_engine_campaign_rejects_unknown_kernel_before_running_any(
+        monkeypatch, capsys):
+    """A typo anywhere in the sweep list exits 2 with suggestions
+    *before* any kernel burns its chains."""
+    ran = []
+    monkeypatch.setattr(
+        cli, "evaluate_benchmark",
+        lambda bench, **kwargs: ran.append(bench.name))
+    code = cli.main(["engine", "campaign", "p01", "p02", "saxpu"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown kernel 'saxpu'" in err
+    assert "did you mean saxpy?" in err
+    assert ran == []                    # p01/p02 never started
+
+
+def test_engine_campaign_interleave_matches_sequential(tmp_path,
+                                                       capsys):
+    args = ["engine", "campaign", "p01", "p03", "--jobs", "2",
+            "--chains", "2", "--budget", "adaptive:stable=1"]
+    assert cli.main(args) == 0
+    sequential = capsys.readouterr().out
+    assert cli.main(args + ["--interleave"]) == 0
+    interleaved = capsys.readouterr().out
+
+    def deterministic(line):
+        # drop the wall-clock-derived "[... prop/s, ...]" bracket; the
+        # speedups, verdicts, and chain counts must match exactly
+        return line.split("  [")[0]
+
+    seq_lines = sequential.splitlines()
+    int_lines = interleaved.splitlines()
+    assert [deterministic(line) for line in int_lines[:-1]] == \
+        [deterministic(line) for line in seq_lines[:-1]]
+    assert "interleaved, " in int_lines[-1]
+    for marker in ("2/2 kernels improved", "chains scheduled"):
+        assert marker in int_lines[-1] and marker in seq_lines[-1]
+
+
+def test_engine_campaign_interleave_journals_v4_manifests(tmp_path):
+    code = cli.main(["engine", "campaign", "p01", "p03",
+                     "--interleave", "--jobs", "2",
+                     "--run-dir", str(tmp_path / "sweep")])
+    assert code == 0
+    for kernel in ("p01", "p03"):
+        manifest = json.loads(
+            (tmp_path / "sweep" / kernel / "manifest.json").read_text())
+        assert manifest["version"] == 4
+        assert manifest["interleave"] == "roundrobin"
+
+
+class _PipeStream:
+    """A block-buffered pipe stand-in that records explicit flushes."""
+
+    def __init__(self):
+        self.writes = []
+        self.flushes = 0
+
+    def write(self, text):
+        self.writes.append(text)
+
+    def flush(self):
+        self.flushes += 1
+
+    def isatty(self):
+        return False
+
+
+def test_progress_output_is_line_flushed_under_a_pipe(monkeypatch):
+    """Piped --progress must not stall in stdio buffers: every event
+    line is followed by an explicit flush."""
+    stream = _PipeStream()
+    monkeypatch.setattr(cli.sys, "stderr", stream)
+    listener = cli._progress_listener(
+        type("Args", (), {"progress": True})())
+    from repro.engine.events import CHAIN_COMPLETED, ProgressEvent
+    for seq in range(3):
+        listener(ProgressEvent(event=CHAIN_COMPLETED, kernel="p01",
+                               seq=seq))
+    lines = [w for w in stream.writes if w.strip()]
+    assert len(lines) == 3
+    assert stream.flushes >= 3          # one flush per emitted line
+    assert all(w.endswith("\n") for w in lines)
+
+
 def test_optimize_accepts_budget_flag(capsys):
     code = cli.main(["optimize", "p01", "--proposals", "400",
                      "--testcases", "4", "--restarts", "2",

@@ -10,10 +10,11 @@ from repro.engine import aggregator, scheduler, worker
 from repro.engine.campaign import Campaign, EngineOptions
 from repro.engine.events import (CAMPAIGN_FINISHED, CAMPAIGN_STARTED,
                                  CHAIN_COMPLETED, EventLog,
-                                 EVENT_STREAM_VERSION, KERNEL_STOPPED,
-                                 ProgressEvent, RANKING_UPDATED,
-                                 event_from_json, event_to_json,
-                                 format_event, read_events)
+                                 EVENT_STREAM_VERSION, KERNEL_GRANTED,
+                                 KERNEL_STOPPED, ProgressEvent,
+                                 RANKING_UPDATED, event_from_json,
+                                 event_to_json, format_event,
+                                 read_events)
 from repro.engine.jobs import result_from_json
 from repro.engine.worker import CampaignContext
 from repro.errors import EngineError
@@ -63,12 +64,65 @@ def test_unknown_event_type_is_rejected():
 
 
 def test_every_event_type_formats_to_one_line():
-    for event_type in (CAMPAIGN_STARTED, CHAIN_COMPLETED,
-                       RANKING_UPDATED, KERNEL_STOPPED,
-                       CAMPAIGN_FINISHED):
+    for event_type in (CAMPAIGN_STARTED, KERNEL_GRANTED,
+                       CHAIN_COMPLETED, RANKING_UPDATED,
+                       KERNEL_STOPPED, CAMPAIGN_FINISHED):
         line = format_event(ProgressEvent(event=event_type,
                                           kernel="p01", seq=0))
         assert line.startswith("[p01] ") and "\n" not in line
+
+
+def test_kernel_granted_round_trips_through_json():
+    for data in ({"wave": "optimization", "chain": 3, "granted": True,
+                  "reason": "scheduled", "jobs": 2},
+                 {"wave": "optimization", "chain": 4, "granted": False,
+                  "reason": "deadline", "jobs": 0},
+                 {"wave": "synthesis", "chain": None, "granted": True,
+                  "reason": "scheduled", "jobs": 1}):
+        event = ProgressEvent(event=KERNEL_GRANTED, kernel="mont",
+                              seq=2, data=data)
+        payload = json.loads(json.dumps(event_to_json(event)))
+        assert event_from_json(payload) == event
+        assert "granted" in format_event(event) or \
+            "denied" in format_event(event)
+
+
+def test_extended_campaign_finished_round_trips_through_json():
+    event = ProgressEvent(event=CAMPAIGN_FINISHED, kernel="p07", seq=9,
+                          data={"verified": True, "rewrite_cycles": 3,
+                                "speedup": 2.5, "chains_scheduled": 4,
+                                "chains_saved": 2, "occupancy": 0.6667})
+    payload = json.loads(json.dumps(event_to_json(event)))
+    decoded = event_from_json(payload)
+    assert decoded == event
+    assert decoded.data["occupancy"] == 0.6667
+    line = format_event(decoded)
+    assert "occupancy 0.6667" in line and "4 chains" in line
+
+
+def test_new_event_types_survive_the_torn_tail_path(tmp_path):
+    """kernel-granted and the extended campaign-finished through the
+    JSONL log, with the last record torn mid-write."""
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path)
+    log.emit(KERNEL_GRANTED, "p01", wave="optimization", chain=0,
+             granted=True, reason="scheduled", jobs=2)
+    log.emit(CAMPAIGN_FINISHED, "p01", verified=True, rewrite_cycles=2,
+             speedup=2.0, chains_scheduled=1, chains_saved=0,
+             occupancy=1.0)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:17])
+    survivors = read_events(path)
+    assert [e.event for e in survivors] == [KERNEL_GRANTED]
+    assert survivors[0].data["reason"] == "scheduled"
+    # appending after the tear truncates the fragment first
+    resumed = EventLog(path, append=True)
+    resumed.emit(KERNEL_GRANTED, "p01", wave="optimization", chain=1,
+                 granted=False, reason="deadline", jobs=0)
+    events = read_events(path)
+    assert [e.event for e in events] == [KERNEL_GRANTED,
+                                         KERNEL_GRANTED]
+    assert events[-1].data["granted"] is False
 
 
 # -- the log ------------------------------------------------------------------
@@ -135,6 +189,15 @@ def test_campaign_streams_events_to_run_dir(tmp_path):
     assert kinds[0] == CAMPAIGN_STARTED
     assert kinds[-2:] == [KERNEL_STOPPED, CAMPAIGN_FINISHED]
     assert kinds.count(CHAIN_COMPLETED) == CONFIG.optimization_chains
+    # a fixed budget admits its whole optimization plan as one grant
+    granted = [e for e in events if e.event == KERNEL_GRANTED]
+    assert len(granted) == 1
+    assert granted[0].data == {"wave": "optimization", "chain": None,
+                               "granted": True, "reason": "scheduled",
+                               "jobs": CONFIG.optimization_chains}
+    finished = events[-1]
+    assert finished.data["chains_scheduled"] == 2
+    assert finished.data["occupancy"] == 1.0
     assert all(e.kernel == "p01" for e in events)
     assert [e.seq for e in events] == list(range(len(events)))
     stopped = events[-2]
