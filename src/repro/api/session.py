@@ -55,6 +55,9 @@ class Result:
     interleave: str = "none"
     chains_scheduled: int = 0
     chains_saved: int = 0
+    #: Deterministic search-telemetry summary (merged over all chains);
+    #: None when no chain carried telemetry.
+    telemetry: dict[str, Any] | None = None
 
     @property
     def improved(self) -> bool:
@@ -80,6 +83,7 @@ class Result:
             "proposals_per_second": round(self.proposals_per_second, 1),
             "testcases_per_proposal":
                 round(self.testcases_per_proposal, 3),
+            "telemetry": self.telemetry,
         }
 
 
@@ -146,6 +150,18 @@ class Session:
 
     def wrap(self, campaign: Campaign, outcome: StokeResult) -> Result:
         """Report one campaign outcome as a :class:`Result`."""
+        merged = outcome.merged_telemetry()
+        telemetry = None
+        if merged is not None:
+            telemetry = {
+                "proposals": merged.proposals,
+                "accepted": merged.accepted,
+                "acceptance_rate": round(merged.acceptance_rate(), 4),
+                "testcases_per_proposal":
+                    round(merged.testcase_hist.mean(), 3),
+                "moves": {kind: row
+                          for kind, row in merged.move_table()},
+            }
         return Result(
             name=self.target.name,
             verified=outcome.verified,
@@ -165,4 +181,5 @@ class Session:
             interleave=campaign.options.interleave_policy,
             chains_scheduled=outcome.chains_scheduled,
             chains_saved=outcome.chains_saved,
+            telemetry=telemetry,
         )

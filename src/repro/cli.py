@@ -14,6 +14,8 @@ Usage::
     python -m repro.cli engine campaign --jobs 8 --run-dir runs/sweep
     python -m repro.cli engine campaign --jobs 8 --chains 8 \\
         --budget adaptive:stable=2 --progress
+    python -m repro.cli engine report runs/sweep     # run-dir analytics
+    python -m repro.cli engine report runs/sweep/p01 --json
 
 (Installed as the ``repro`` console script.)
 """
@@ -240,6 +242,53 @@ def _cmd_engine_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _follow_run(run_dir: Path) -> None:
+    """Tail one run's event stream until its campaign finishes."""
+    from repro.engine.events import CAMPAIGN_FINISHED, follow_events
+    finished = False
+    for event in follow_events(run_dir / "events.jsonl",
+                               poll=lambda: not finished):
+        _emit_line(format_event(event))
+        if event.event == CAMPAIGN_FINISHED:
+            finished = True
+
+
+def _cmd_engine_report(args: argparse.Namespace) -> int:
+    """Render run-dir analytics from the journals alone.
+
+    Works on finished *and* in-progress runs: the metrics journal gets
+    one record per completed chain, so a live campaign's report shows
+    everything journaled so far (``complete: false`` in ``--json``).
+    """
+    from repro.telemetry import (discover_run_dirs, load_document,
+                                 render_report)
+    base = Path(args.run_dir)
+    run_dirs = discover_run_dirs(base)
+    if not run_dirs:
+        print(f"error: no run directories under {base}",
+              file=sys.stderr)
+        return 2
+    if args.follow:
+        if len(run_dirs) != 1:
+            print("error: --follow needs a single kernel's run "
+                  "directory", file=sys.stderr)
+            return 2
+        _follow_run(run_dirs[0])
+    documents = [doc for doc in (load_document(run_dir)
+                                 for run_dir in run_dirs)
+                 if doc is not None]
+    if not documents:
+        print(f"error: no telemetry journaled yet under {base}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        payload = documents[0] if len(documents) == 1 else documents
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(render_report(documents))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -313,6 +362,21 @@ def build_parser() -> argparse.ArgumentParser:
              "becomes sweep-wide instead of per-kernel)")
     _add_engine_arguments(campaign)
     campaign.set_defaults(fn=_cmd_engine_campaign)
+
+    report = engine_sub.add_parser(
+        "report",
+        help="analyze a run directory's telemetry journals")
+    report.add_argument(
+        "run_dir",
+        help="a campaign run directory, or a sweep base directory "
+             "holding one run directory per kernel")
+    report.add_argument("--json", action="store_true",
+                        help="emit the merged metrics document(s)")
+    report.add_argument(
+        "--follow", action="store_true",
+        help="tail the live event stream until the campaign finishes, "
+             "then render the report")
+    report.set_defaults(fn=_cmd_engine_report)
     return parser
 
 

@@ -395,6 +395,47 @@ def _fallback_step(instr: Instruction) -> Step:
 
 
 # ---------------------------------------------------------------------------
+# evaluator telemetry
+# ---------------------------------------------------------------------------
+
+
+class _EvaluatorCounters:
+    """Process-global tier-up/cache/fallback counts for this evaluator.
+
+    Monotonic tallies, snapshotted around each chain job by the engine
+    worker (the difference is that chain's share). They describe real
+    execution, which is why they are *not* deterministic across worker
+    counts: the structural cache and hot-threshold table are per
+    process, so which chain pays a tier-up depends on pool placement.
+    Telemetry therefore files them under the chain's nondeterministic
+    ``runtime`` section.
+    """
+
+    __slots__ = ("instance_hits", "structural_hits", "tier_ups",
+                 "cold_fallbacks", "uncompilable_fallbacks",
+                 "programs_compiled")
+
+    def __init__(self) -> None:
+        self.instance_hits = 0          # step cached on the instruction
+        self.structural_hits = 0        # equal instruction seen before
+        self.tier_ups = 0               # interpretive -> compiled step
+        self.cold_fallbacks = 0         # below the hot threshold
+        self.uncompilable_fallbacks = 0  # semantics defeated the recorder
+        self.programs_compiled = 0      # CompiledProgram constructions
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+COUNTERS = _EvaluatorCounters()
+
+
+def evaluator_counters() -> dict[str, int]:
+    """A point-in-time copy of this process's evaluator counters."""
+    return COUNTERS.snapshot()
+
+
+# ---------------------------------------------------------------------------
 # instruction and condition-code compilation, with caching
 # ---------------------------------------------------------------------------
 
@@ -417,6 +458,7 @@ def _compile_instruction(instr: Instruction) -> Step:
     try:
         execute(instr, builder)
     except _CannotCompile:
+        COUNTERS.uncompilable_fallbacks += 1
         return _fallback_step(instr)
     return builder.build()
 
@@ -440,13 +482,19 @@ def compiled_step(instr: Instruction) -> Step:
                 if len(_SEEN_ONCE) >= _STRUCTURAL_CACHE_LIMIT:
                     _SEEN_ONCE.clear()
                 _SEEN_ONCE[key] = count
+                COUNTERS.cold_fallbacks += 1
                 return _fallback_step(instr)   # cold: not cached
             _SEEN_ONCE.pop(key, None)
             if len(_STRUCTURAL_CACHE) >= _STRUCTURAL_CACHE_LIMIT:
                 _STRUCTURAL_CACHE.clear()
             step = _compile_instruction(instr)
             _STRUCTURAL_CACHE[key] = step
+            COUNTERS.tier_ups += 1
+        else:
+            COUNTERS.structural_hits += 1
         instr.__dict__["_compiled_step"] = step
+    else:
+        COUNTERS.instance_hits += 1
     return step
 
 
@@ -568,4 +616,5 @@ def compile_program(prog: Program) -> CompiledProgram:
     if compiled is None:
         compiled = CompiledProgram(prog)
         prog.__dict__["_compiled"] = compiled
+        COUNTERS.programs_compiled += 1
     return compiled

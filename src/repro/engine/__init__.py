@@ -20,8 +20,8 @@ from repro.engine.budget import (BudgetSpec, StoppingRule,
                                  available_budgets, register_budget)
 from repro.engine.campaign import Campaign, EngineOptions
 from repro.engine.checkpoint import CheckpointStore
-from repro.engine.events import (EventLog, ProgressEvent, format_event,
-                                 read_events)
+from repro.engine.events import (EventLog, ProgressEvent, follow_events,
+                                 format_event, iter_events, read_events)
 from repro.engine.executor import (ProcessPoolExecutor, SerialExecutor,
                                    make_executor)
 from repro.engine.jobs import (ChainJob, JobResult, OPTIMIZATION,
@@ -37,8 +37,9 @@ __all__ = ["BudgetSpec", "Campaign", "CampaignContext", "ChainJob",
            "KernelSchedule", "OPTIMIZATION", "ProcessPoolExecutor",
            "ProgressEvent", "SYNTHESIS", "SerialExecutor",
            "StoppingRule", "available_budgets", "best_signature",
-           "dedup_programs", "final_ranking", "format_event",
-           "interleave_rounds", "make_executor", "merge_testcases",
+           "dedup_programs", "final_ranking", "follow_events",
+           "format_event", "interleave_rounds", "iter_events",
+           "make_executor", "merge_testcases",
            "optimization_jobs", "optimization_rounds", "read_events",
            "register_budget", "run_campaigns", "run_chain_job",
            "synthesis_jobs", "synthesis_starts"]

@@ -6,6 +6,7 @@ Layout::
     <run_dir>/jobs.jsonl      one line per completed job result
     <run_dir>/grants.jsonl    one line per scheduler grant decision
     <run_dir>/events.jsonl    campaign progress stream (diagnostics)
+    <run_dir>/metrics.jsonl   search telemetry (diagnostics)
 
 The manifest freezes everything job results depend on — target, spec,
 annotations, config, and the generated base testcases — so a resumed
@@ -27,7 +28,7 @@ Manifest versions (any mismatch rejects the resume):
   contains only the chains its rule actually scheduled; resuming it
   under a different rule would re-decide which chains exist, so a
   changed budget is rejected like any other fingerprint field.
-* **v4** (this PR): adds ``interleave`` — the cross-kernel scheduling
+* **v4** (PR 5): adds ``interleave`` — the cross-kernel scheduling
   policy (``none`` or ``roundrobin``). The policy decides the grant
   order of the shared worker pool; results are bit-identical either
   way, but a resumed campaign must not silently switch schedulers, so
@@ -37,10 +38,17 @@ Manifest versions (any mismatch rejects the resume):
   Deterministic rules re-derive the same decisions on replay; the
   clock-driven ``wallclock`` rule cannot, so a resume replays the
   journaled decisions instead of re-consulting the clock.
+* **v5** (this PR): job payloads carry per-chain search telemetry
+  (``chain.telemetry``) and the run directory gains ``metrics.jsonl``,
+  the telemetry journal (:mod:`repro.telemetry.journal`). The journal
+  is diagnostic, not resume state — but a v4 journal's payloads cannot
+  supply telemetry for journal-satisfied chains on resume, so the
+  version gate keeps resumed runs' metrics documents complete.
 
 A run directory may also hold ``events.jsonl``, the campaign progress
-stream (:mod:`repro.engine.events`). It is diagnostic output, not
-resume state: the fingerprint never covers it.
+stream (:mod:`repro.engine.events`), and ``metrics.jsonl``, the search
+telemetry journal. Both are diagnostic output, not resume state: the
+fingerprint never covers them.
 """
 
 from __future__ import annotations
@@ -52,7 +60,7 @@ from pathlib import Path
 from repro.engine.serialize import Json, read_jsonl, require_fields
 from repro.errors import EngineError
 
-MANIFEST_VERSION = 4
+MANIFEST_VERSION = 5
 
 _FINGERPRINT_FIELDS = ("target", "spec", "annotations", "config",
                        "cost", "strategy", "budget", "interleave")
@@ -66,6 +74,7 @@ class CheckpointStore:
         self.manifest_path = self.run_dir / "manifest.json"
         self.journal_path = self.run_dir / "jobs.jsonl"
         self.grants_path = self.run_dir / "grants.jsonl"
+        self.metrics_path = self.run_dir / "metrics.jsonl"
 
     def has_manifest(self) -> bool:
         return self.manifest_path.exists()
@@ -82,6 +91,7 @@ class CheckpointStore:
         os.replace(tmp, self.manifest_path)
         self.journal_path.write_text("")
         self.grants_path.write_text("")
+        self.metrics_path.write_text("")
 
     def load_manifest(self, expected_fingerprint: Json) -> Json:
         """Load and cross-check the manifest against this campaign.

@@ -45,7 +45,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro.engine.serialize import Json, read_jsonl, require_fields
+from repro.engine.serialize import Json, iter_jsonl, require_fields
 from repro.errors import EngineError
 
 EVENT_STREAM_VERSION = 2
@@ -168,12 +168,17 @@ class EventLog:
             if append and self.path.exists():
                 # re-write the surviving records so a torn trailing
                 # line (an interrupted emit) is truncated rather than
-                # fused with the next append
-                survivors = read_events(self.path)
-                self.path.write_text("".join(
-                    json.dumps(event_to_json(event), sort_keys=True) + "\n"
-                    for event in survivors))
-                self._seq = len(survivors)
+                # fused with the next append; streamed through a temp
+                # file so healing a long stream never loads it whole
+                tmp = self.path.with_suffix(".jsonl.tmp")
+                with tmp.open("w") as handle:
+                    for event in iter_events(self.path):
+                        handle.write(json.dumps(event_to_json(event),
+                                                sort_keys=True) + "\n")
+                        self._seq += 1
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, self.path)
             else:
                 self.path.write_text("")
 
@@ -193,7 +198,50 @@ class EventLog:
         return event
 
 
+def iter_events(path: str | Path):
+    """Stream an event file in O(1) memory (torn tail dropped).
+
+    The iterator the live progress follower and ``engine report`` use:
+    a long campaign's stream never has to fit in memory to be read.
+    """
+    for payload in iter_jsonl(path, "event"):
+        yield event_from_json(payload)
+
+
 def read_events(path: str | Path) -> list[ProgressEvent]:
-    """Decode an event stream; a torn trailing line is dropped."""
-    return [event_from_json(payload)
-            for payload in read_jsonl(path, "event")]
+    """Decode a whole event stream; a torn trailing line is dropped."""
+    return list(iter_events(path))
+
+
+def follow_events(path: str | Path, *, poll: Callable[[], bool],
+                  interval: float = 0.2):
+    """Tail an event stream that another process is appending to.
+
+    Yields each complete event as it lands; between appends, sleeps
+    ``interval`` and re-consults ``poll`` — the generator ends when
+    ``poll`` returns False and the file holds nothing new. A partial
+    trailing line (an append caught mid-write) is buffered until its
+    newline arrives, never decoded early.
+    """
+    import time as _time
+    path = Path(path)
+    buffer = ""
+    position = 0
+    live = True
+    while True:
+        if path.exists():
+            with path.open() as stream:
+                stream.seek(position)
+                chunk = stream.read()
+                position = stream.tell()
+            buffer += chunk
+            while "\n" in buffer:
+                line, buffer = buffer.split("\n", 1)
+                if line.strip():
+                    yield event_from_json(json.loads(line))
+        if not live:
+            return
+        live = poll()
+        if not live:
+            continue               # one final drain before stopping
+        _time.sleep(interval)

@@ -25,6 +25,7 @@ from repro.cost.correctness import CostWeights
 from repro.errors import EngineError
 from repro.search.config import SearchConfig
 from repro.search.mcmc import ChainResult, ChainStats
+from repro.telemetry.chain import ChainTelemetry
 from repro.testgen.annotations import (Annotations, ConstantInput,
                                        InputKind, PointerInput,
                                        RandomInput, RangeInput)
@@ -215,6 +216,8 @@ def chain_to_json(chain: ChainResult | None) -> Json | None:
         "zero_cost": [[cost, program_to_json(prog)]
                       for cost, prog in chain.zero_cost],
         "stats": _stats_to_json(chain.stats),
+        "telemetry": (None if chain.telemetry is None
+                      else chain.telemetry.to_json()),
     }
 
 
@@ -229,6 +232,8 @@ def chain_from_json(data: Json | None) -> ChainResult | None:
         zero_cost=[(cost, program_from_json(prog))
                    for cost, prog in data["zero_cost"]],
         stats=_stats_from_json(data["stats"]),
+        telemetry=(None if data.get("telemetry") is None
+                   else ChainTelemetry.from_json(data["telemetry"])),
     )
 
 
@@ -240,28 +245,46 @@ def require_fields(data: Json, fields: tuple[str, ...],
         raise EngineError(f"corrupt {what}: missing {missing}")
 
 
-def read_jsonl(path, what: str) -> list[Json]:
-    """Decode an append-only JSONL file with torn-tail tolerance.
+def iter_jsonl(path, what: str):
+    """Stream-decode an append-only JSONL file with torn-tail tolerance.
 
-    The shared policy of the job journal and the event stream: blank
-    lines are skipped, a torn *trailing* line (an interrupted append)
-    is silently dropped so that record re-runs, and a torn line
-    anywhere else means the file was edited by hand and is an error.
+    The shared policy of the job journal, the event stream, and the
+    metrics journal: blank lines are skipped, a torn *trailing* line
+    (an interrupted append) is silently dropped so that record re-runs,
+    and a torn line anywhere else means the file was edited by hand and
+    is an error.
+
+    The file is read line by line with one line of lookahead (a line is
+    only "the tail" once nothing follows it), so arbitrarily large
+    journals stream in O(1) memory — the property ``engine report`` and
+    the event follower rely on.
     """
     from pathlib import Path
     path = Path(path)
     if not path.exists():
-        return []
-    lines = path.read_text().splitlines()
-    records: list[Json] = []
-    for index, line in enumerate(lines):
-        if not line.strip():
-            continue
-        try:
-            records.append(json.loads(line))
-        except json.JSONDecodeError:
-            if index == len(lines) - 1:
-                break               # interrupted mid-append
-            raise EngineError(
-                f"corrupt {what} line {index + 1} in {path}")
-    return records
+        return
+    pending: tuple[int, str] | None = None
+    with path.open() as stream:
+        for index, line in enumerate(stream):
+            if not line.strip():
+                continue
+            if pending is not None:
+                previous_index, previous_line = pending
+                try:
+                    record = json.loads(previous_line)
+                except json.JSONDecodeError:
+                    raise EngineError(
+                        f"corrupt {what} line {previous_index + 1} "
+                        f"in {path}") from None
+                yield record
+            pending = (index, line)
+        if pending is not None:
+            try:
+                yield json.loads(pending[1])
+            except json.JSONDecodeError:
+                return              # interrupted mid-append
+
+
+def read_jsonl(path, what: str) -> list[Json]:
+    """Decode a whole JSONL journal at once (see :func:`iter_jsonl`)."""
+    return list(iter_jsonl(path, what))

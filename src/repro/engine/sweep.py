@@ -53,6 +53,8 @@ from repro.engine.worker import CampaignContext
 from repro.errors import EngineError
 from repro.perfsim.model import actual_runtime
 from repro.search.stoke import StokeResult
+from repro.telemetry import ChainTelemetry, MetricsLog
+from repro.telemetry.metrics import Series
 from repro.x86.program import Program
 
 if TYPE_CHECKING:                               # pragma: no cover
@@ -95,6 +97,9 @@ class KernelSchedule:
                   else self.store.run_dir / "events.jsonl"),
             listener=options.progress,
             append=options.resume)
+        self.metrics = (MetricsLog(self.store.run_dir / "metrics.jsonl",
+                                   append=options.resume)
+                        if self.store is not None else None)
         self.rule = campaign.budget.rule()
         self.context = CampaignContext(
             target=campaign.target, spec=campaign.spec,
@@ -126,6 +131,13 @@ class KernelSchedule:
         self._start_time = 0.0
         self._synth_seconds = 0.0
         self._opt_start_time = 0.0
+        # scheduler runtime telemetry (wall-clock, hence filed under
+        # the metrics document's nondeterministic runtime section)
+        self._granted_at: dict[str, float] = {}
+        self._latency_count = 0
+        self._latency_total = 0.0
+        self._latency_max = 0.0
+        self._occupancy = Series()
 
     # -- driver protocol ------------------------------------------------------
 
@@ -157,6 +169,17 @@ class KernelSchedule:
                          verified=len(payload["verified"]),
                          new_testcases=len(payload["new_testcases"]))
         self._in_flight.discard(job_id)
+        granted_at = self._granted_at.pop(job_id, None)
+        if granted_at is not None:
+            latency = self.clock() - granted_at
+            self._latency_count += 1
+            self._latency_total += latency
+            self._latency_max = max(self._latency_max, latency)
+        self._sample_occupancy()
+        chain = payload.get("chain")
+        telemetry = None if chain is None else chain.get("telemetry")
+        if self.metrics is not None and telemetry is not None:
+            self.metrics.record_chain(self.name, job_id, telemetry)
 
     def next_grant(self, elapsed: float) -> list[ChainJob] | None:
         """The next wave of jobs to submit, or None.
@@ -206,7 +229,17 @@ class KernelSchedule:
         pending = [job for job in jobs
                    if job.job_id not in self.completed]
         self._in_flight.update(job.job_id for job in pending)
+        now = self.clock()
+        for job in pending:
+            self._granted_at[job.job_id] = now
+        self._sample_occupancy()
         return pending
+
+    def _sample_occupancy(self) -> None:
+        """One (elapsed, jobs-in-flight) point on the occupancy
+        timeline; ``force`` because elapsed is a float, not a step."""
+        self._occupancy.record(self.clock() - self._start_time,
+                               float(len(self._in_flight)), force=True)
 
     def _result_for(self, job_id: str) -> JobResult:
         """The decoded result for one completed job, parsed once.
@@ -378,7 +411,41 @@ class KernelSchedule:
                          chains_scheduled=chains_scheduled,
                          chains_saved=chains_saved,
                          occupancy=occupancy)
+        if self.metrics is not None:
+            self._journal_campaign_metrics(result.seconds)
         self._result = result
+
+    def _journal_campaign_metrics(self, seconds: float) -> None:
+        """Seal the metrics journal: backfill + the campaign record.
+
+        Chains satisfied from the resume journal never passed through
+        :meth:`complete`, so their telemetry is backfilled here in plan
+        order (dedup makes live-recorded chains no-ops). The campaign
+        record carries the plan-order merge — bit-identical at any
+        worker count — plus this run's scheduler runtime.
+        """
+        assert self.metrics is not None
+        merged = ChainTelemetry()
+        for job in list(self._synth_plan) + list(self._opt_plan):
+            payload = self.completed.get(job.job_id)
+            chain = None if payload is None else payload.get("chain")
+            telemetry = None if chain is None else chain.get("telemetry")
+            if telemetry is None:
+                continue                # pre-v5 journal, or no chain
+            self.metrics.record_chain(self.name, job.job_id, telemetry)
+            merged.absorb(ChainTelemetry.from_json(telemetry))
+        runtime = {
+            "seconds": seconds,
+            "grant_latency": {
+                "count": self._latency_count,
+                "mean": (self._latency_total / self._latency_count
+                         if self._latency_count else 0.0),
+                "max": self._latency_max,
+            },
+            "occupancy": self._occupancy.to_json(),
+        }
+        self.metrics.record_campaign(
+            self.name, merged.deterministic_json(), runtime)
 
 
 def run_campaigns(campaigns: list[Campaign], *,

@@ -89,10 +89,12 @@ def context_from_json(data: Json) -> CampaignContext:
 
 def run_chain_job(context: CampaignContext, job: ChainJob) -> Json:
     """Run one chain and return its plain-JSON result payload."""
+    from repro.emulator.compile import evaluator_counters
     config = context.config
     generator = TestcaseGenerator(context.target, context.spec,
                                   context.annotations, seed=config.seed)
     base_count = len(context.testcases)
+    counters_before = evaluator_counters()
     synthesis = job.kind == SYNTHESIS
     cost_fn = CostFunction(
         context.testcases, context.target,
@@ -114,6 +116,14 @@ def run_chain_job(context: CampaignContext, job: ChainJob) -> Json:
                                   generator, context.validator, config,
                                   strategy=strategy)
         outcome = phase.run(job.start, seed=job.seed)
+    if outcome.chain is not None and outcome.chain.telemetry is not None:
+        # the process-global counter delta is this job's share of cache
+        # traffic; nondeterministic across pool placements, so it files
+        # under the chain's runtime section
+        after = evaluator_counters()
+        outcome.chain.telemetry.runtime["evaluator"] = {
+            name: after[name] - before
+            for name, before in counters_before.items()}
     result = JobResult(
         job_id=job.job_id,
         kind=job.kind,

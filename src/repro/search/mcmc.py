@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 
 from repro.cost.function import CostFunction
 from repro.search.moves import MoveGenerator
+from repro.telemetry.chain import ChainTelemetry
+from repro.telemetry.metrics import safe_rate
 from repro.x86.program import Program
 
 
@@ -41,7 +43,13 @@ class ChainStats:
 
     @property
     def proposals_per_second(self) -> float:
-        return self.proposals / self.seconds if self.seconds else 0.0
+        """Inner-loop throughput, finite even for sub-resolution runs.
+
+        A short chain can finish between two ticks of the clock
+        (``seconds == 0`` with proposals run); ``safe_rate`` clamps the
+        elapsed time instead of reporting a false 0.0.
+        """
+        return safe_rate(self.proposals, self.seconds)
 
     @property
     def testcases_per_proposal(self) -> float:
@@ -60,6 +68,7 @@ class ChainResult:
     current_cost: int
     zero_cost: list[tuple[int, Program]]     # (cost, program), eq' == 0
     stats: ChainStats
+    telemetry: ChainTelemetry | None = None
 
 
 class MCMCSampler:
@@ -69,13 +78,18 @@ class MCMCSampler:
                  start: Program, *, beta: float,
                  rng: random.Random,
                  early_termination: bool = True,
-                 trace_every: int = 64) -> None:
+                 trace_every: int = 64,
+                 telemetry: bool = True) -> None:
         self.cost_fn = cost_fn
         self.moves = moves
         self.beta = beta
         self.rng = rng
         self.early_termination = early_termination
         self.trace_every = trace_every
+        # telemetry=False exists for the overhead benchmark
+        # (benchmarks/bench_inner_loop.py); recording never touches the
+        # rng, so the chain's decisions are identical either way
+        self.telemetry = telemetry
         self.current = start
         result = cost_fn.evaluate(start)
         assert result.value is not None
@@ -108,12 +122,14 @@ class MCMCSampler:
                 (used by the synthesis phase).
         """
         stats = ChainStats()
+        telemetry = ChainTelemetry() if self.telemetry else None
         start_time = time.perf_counter()
         window_testcases = 0
         window_proposals = 0
+        step = -1
         for step in range(proposals):
             stats.proposals += 1
-            candidate, _kind = self.moves.propose(self.current)
+            candidate, kind = self.moves.propose(self.current)
             p = self.rng.random()
             bound = self._acceptance_bound(step, p)
             result = self.cost_fn.evaluate(
@@ -124,6 +140,7 @@ class MCMCSampler:
             accept = (not result.exceeded and
                       result.value is not None and
                       result.value <= bound)
+            previous_cost = self.current_cost
             if accept:
                 stats.accepted += 1
                 assert result.value is not None
@@ -137,6 +154,16 @@ class MCMCSampler:
                     if len(self.zero_cost) > 2 * self._zero_cost_cap:
                         self.zero_cost.sort(key=lambda pair: pair[0])
                         del self.zero_cost[self._zero_cost_cap:]
+            if telemetry is not None:
+                delta = (None if result.exceeded or result.value is None
+                         else result.value - previous_cost)
+                telemetry.record_proposal(
+                    telemetry.move_row(kind.value),
+                    accepted=accept, delta=delta,
+                    bounded=result.exceeded,
+                    testcases=result.testcases_evaluated,
+                    step=step, cost=self.current_cost,
+                    best=self.best_cost)
             if step % self.trace_every == 0:
                 stats.cost_trace.append((step, self.current_cost))
                 if window_proposals:
@@ -147,6 +174,10 @@ class MCMCSampler:
             if stop_at_zero and self.zero_cost:
                 break
         stats.seconds = time.perf_counter() - start_time
+        if telemetry is not None:
+            if step >= 0:
+                telemetry.seal(step, self.current_cost, self.best_cost)
+            telemetry.runtime["seconds"] = stats.seconds
         return ChainResult(
             best_program=self.best,
             best_cost=self.best_cost,
@@ -154,4 +185,5 @@ class MCMCSampler:
             current_cost=self.current_cost,
             zero_cost=sorted(self.zero_cost, key=lambda pair: pair[0]),
             stats=stats,
+            telemetry=telemetry,
         )

@@ -171,6 +171,14 @@ def _merge_chain(acc: ChainResult | None,
                  chain: ChainResult) -> ChainResult:
     if acc is None:
         return chain
+    # segments of one chain continue each other: telemetry traces are
+    # shifted by the proposals already run, mirroring the legacy traces
+    telemetry = acc.telemetry
+    if telemetry is not None and chain.telemetry is not None:
+        telemetry.extend(chain.telemetry,
+                         step_offset=acc.stats.proposals)
+    elif chain.telemetry is not None:
+        telemetry = chain.telemetry
     stats = ChainStats(
         proposals=acc.stats.proposals + chain.stats.proposals,
         accepted=acc.stats.accepted + chain.stats.accepted,
@@ -193,4 +201,5 @@ def _merge_chain(acc: ChainResult | None,
         zero_cost=sorted(acc.zero_cost + chain.zero_cost,
                          key=lambda pair: pair[0]),
         stats=stats,
+        telemetry=telemetry,
     )

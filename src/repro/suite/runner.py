@@ -60,7 +60,17 @@ def format_rate(value: float) -> str:
     The CLI summary, the per-kernel rows, and the ``--json`` payload
     (which uses ``round(value, 1)``) all agree on one decimal place, so
     the same run never shows two different throughput numbers.
+
+    ``safe_rate`` clamps a sub-resolution elapsed time instead of
+    dividing by zero, so a rate can be astronomically large (and a
+    non-finite value from any other source must not crash a report):
+    both render as a plain order-of-magnitude marker.
     """
+    import math
+    if not math.isfinite(value):
+        return "inf"
+    if value >= 1e9:
+        return f">{1e9:,.0f}"
     return f"{value:,.1f}"
 
 

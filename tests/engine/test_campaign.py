@@ -161,7 +161,7 @@ def test_manifest_freezes_testcases(tmp_path):
     _campaign(EngineOptions(jobs=1, run_dir=run_dir)).run()
     manifest = json.loads((run_dir / "manifest.json").read_text())
     assert len(manifest["testcases"]) == CONFIG.testcase_count
-    assert manifest["version"] == 4
+    assert manifest["version"] == 5
     assert manifest["cost"] == "correctness,latency"
     assert manifest["strategy"] == "mcmc"
     assert manifest["budget"] == "fixed"
@@ -189,6 +189,6 @@ def test_resume_of_old_manifests_is_a_version_error(tmp_path):
         del manifest[dropped]
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(EngineError,
-                           match=f"version {version} is not 4"):
+                           match=f"version {version} is not 5"):
             _campaign(EngineOptions(jobs=1, run_dir=run_dir,
                                     resume=True)).run()

@@ -145,7 +145,7 @@ def test_engine_campaign_interleave_matches_sequential(tmp_path,
         assert marker in int_lines[-1] and marker in seq_lines[-1]
 
 
-def test_engine_campaign_interleave_journals_v4_manifests(tmp_path):
+def test_engine_campaign_interleave_journals_v5_manifests(tmp_path):
     code = cli.main(["engine", "campaign", "p01", "p03",
                      "--interleave", "--jobs", "2",
                      "--run-dir", str(tmp_path / "sweep")])
@@ -153,8 +153,54 @@ def test_engine_campaign_interleave_journals_v4_manifests(tmp_path):
     for kernel in ("p01", "p03"):
         manifest = json.loads(
             (tmp_path / "sweep" / kernel / "manifest.json").read_text())
-        assert manifest["version"] == 4
+        assert manifest["version"] == 5
         assert manifest["interleave"] == "roundrobin"
+        assert (tmp_path / "sweep" / kernel / "metrics.jsonl").exists()
+
+
+def test_engine_report_renders_a_finished_sweep(tmp_path, capsys):
+    sweep = str(tmp_path / "sweep")
+    assert cli.main(["engine", "campaign", "p01", "p03", "--jobs", "2",
+                     "--run-dir", sweep]) == 0
+    capsys.readouterr()
+    assert cli.main(["engine", "report", sweep]) == 0
+    out = capsys.readouterr().out
+    assert "campaign summary" in out
+    for kernel in ("p01", "p03"):
+        assert f"[{kernel}] best-cost trajectory (Fig. 4)" in out
+        assert f"[{kernel}] acceptance by move" in out
+        assert f"[{kernel}] testcases per proposal (Fig. 5)" in out
+        assert f"[{kernel}] scheduler" in out
+    assert "finished" in out
+
+
+def test_engine_report_json_contract(tmp_path, capsys):
+    run_dir = str(tmp_path / "run")
+    assert cli.main(["optimize", "p01", "--proposals", "400",
+                     "--testcases", "4", "--restarts", "2",
+                     "--run-dir", run_dir]) == 0
+    capsys.readouterr()
+    # one run dir -> one document, not a singleton list
+    assert cli.main(["engine", "report", run_dir, "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["kernel"] == "p01"
+    assert document["complete"] is True
+    assert document["chains"]
+    assert document["campaign"]["proposals"] > 0
+    assert "seconds" in document["runtime"]
+
+
+def test_engine_report_error_exits(tmp_path, capsys):
+    # nothing that looks like a run directory -> usage error
+    assert cli.main(["engine", "report",
+                     str(tmp_path / "missing")]) == 2
+    assert "no run directories" in capsys.readouterr().err
+    # a run dir with journals but no telemetry yet -> exit 1
+    bare = tmp_path / "bare"
+    bare.mkdir()
+    (bare / "events.jsonl").write_text("")
+    assert cli.main(["engine", "report", str(bare)]) == 1
+    assert "no telemetry journaled yet" in capsys.readouterr().err
 
 
 class _PipeStream:

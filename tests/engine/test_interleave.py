@@ -8,6 +8,8 @@ one clock-driven rule, so its grant decisions are journaled and a
 resume replays them instead of re-consulting the clock.
 """
 
+import json
+
 import pytest
 
 from repro.engine.budget import BudgetSpec
@@ -17,6 +19,7 @@ from repro.engine.sweep import run_campaigns
 from repro.errors import EngineError
 from repro.search.config import SearchConfig
 from repro.suite.registry import benchmark
+from repro.telemetry import deterministic_document, load_document
 from repro.verifier.validator import Validator
 
 KERNELS = ("p01", "p03")
@@ -106,6 +109,28 @@ def test_wallclock_high_deadline_matches_fixed():
     """A deadline that never trips must not change a single bit."""
     assert _run(1, "wallclock:secs=3600", True) == \
         _run(1, "fixed", False)
+
+
+def test_metrics_documents_bit_identical_across_jobs(tmp_path):
+    """The telemetry invariant: the deterministic slice of every
+    kernel's metrics document is byte-for-byte identical at any worker
+    count — only the ``runtime`` sections may differ."""
+    fingerprints = {}
+    for jobs in (1, 2, 4):
+        base = tmp_path / f"jobs{jobs}"
+        run_campaigns(_campaigns(jobs, "fixed", True, base_dir=base))
+        fingerprints[jobs] = [
+            json.dumps(deterministic_document(
+                load_document(base / name)), sort_keys=True)
+            for name in KERNELS]
+    assert fingerprints[2] == fingerprints[1]
+    assert fingerprints[4] == fingerprints[1]
+    # the full document carries what determinism cannot: wall-clock
+    # runtime and the campaign's scheduler occupancy/latency sections
+    document = load_document(tmp_path / "jobs1" / KERNELS[0])
+    assert document["complete"] is True
+    assert "seconds" in document["runtime"]
+    assert "occupancy" in document["runtime"]
 
 
 # -- resume from a v4 checkpoint ----------------------------------------------

@@ -7,6 +7,7 @@ from repro.errors import EngineError
 from repro.search.config import SearchConfig
 from repro.search.mcmc import ChainResult, ChainStats
 from repro.suite.registry import benchmark
+from repro.telemetry import ChainTelemetry
 from repro.testgen.annotations import (Annotations, ConstantInput,
                                        PointerInput, RandomInput,
                                        RangeInput)
@@ -81,6 +82,26 @@ def test_chain_result_roundtrip():
     back = serialize.chain_from_json(serialize.chain_to_json(chain))
     assert back == chain
     assert serialize.chain_from_json(None) is None
+
+
+def test_chain_result_roundtrip_carries_telemetry():
+    prog = parse_program("movq rdi, rax").padded(4)
+    telemetry = ChainTelemetry()
+    telemetry.record_proposal(telemetry.move_row("opcode"),
+                              accepted=True, delta=-3, bounded=False,
+                              testcases=2, step=0, cost=7, best=7)
+    telemetry.runtime["seconds"] = 0.25
+    chain = ChainResult(best_program=prog, best_cost=7,
+                        current_program=prog, current_cost=7,
+                        zero_cost=[], stats=ChainStats(proposals=1),
+                        telemetry=telemetry)
+    payload = serialize.chain_to_json(chain)
+    back = serialize.chain_from_json(payload)
+    assert back == chain
+    assert back.telemetry == telemetry
+    # v4 journals predate the field; absence decodes as None
+    del payload["telemetry"]
+    assert serialize.chain_from_json(payload).telemetry is None
 
 
 def test_require_fields_rejects_missing():

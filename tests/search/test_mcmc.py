@@ -19,7 +19,7 @@ TARGET = parse_program("""
 SPEC = LiveSpec(live_in=("rdi", "rsi"), live_out=("rax",))
 
 
-def _sampler(seed=0, beta=1.0, early=True):
+def _sampler(seed=0, beta=1.0, early=True, telemetry=True):
     generator = TestcaseGenerator(TARGET, SPEC, Annotations(), seed=seed)
     cost = CostFunction(generator.generate(8), TARGET,
                         phase=Phase.OPTIMIZATION)
@@ -27,7 +27,8 @@ def _sampler(seed=0, beta=1.0, early=True):
     rng = random.Random(seed)
     moves = MoveGenerator(TARGET, config, rng)
     return MCMCSampler(cost, moves, TARGET.padded(8), beta=beta,
-                       rng=rng, early_termination=early)
+                       rng=rng, early_termination=early,
+                       telemetry=telemetry)
 
 
 def test_chain_tracks_best_and_current():
@@ -74,6 +75,32 @@ def test_determinism_by_seed():
     b = _sampler(seed=7).run(800)
     assert a.best_cost == b.best_cost
     assert a.stats.accepted == b.stats.accepted
+
+
+def test_telemetry_agrees_with_stats():
+    result = _sampler(seed=4).run(1200)
+    telemetry = result.telemetry
+    assert telemetry is not None
+    assert telemetry.proposals == result.stats.proposals == 1200
+    assert telemetry.accepted == result.stats.accepted
+    assert telemetry.testcases_evaluated == \
+        result.stats.testcases_evaluated
+    # every proposal lands in exactly one move row
+    assert sum(row["proposed"]
+               for _kind, row in telemetry.move_table()) == 1200
+    assert telemetry.testcase_hist.total == 1200
+    # the traces are sealed with the chain's final state
+    assert telemetry.cost_trace.points[-1][1] == result.current_cost
+    assert telemetry.best_trace.points[-1][1] == result.best_cost
+    assert telemetry.runtime["seconds"] >= 0.0
+
+
+def test_telemetry_off_changes_nothing_but_the_record():
+    on = _sampler(seed=4).run(1200)
+    off = _sampler(seed=4, telemetry=False).run(1200)
+    assert off.telemetry is None
+    assert (off.best_cost, off.current_cost, off.stats.accepted) == \
+        (on.best_cost, on.current_cost, on.stats.accepted)
 
 
 def test_stop_at_zero():

@@ -1,0 +1,86 @@
+"""ChainTelemetry: recording, merging, and the wire format."""
+
+import pytest
+
+from repro.telemetry import ChainTelemetry
+
+
+def _record(telemetry, kind, *, accepted, delta, bounded, testcases,
+            step, cost, best):
+    telemetry.record_proposal(telemetry.move_row(kind),
+                              accepted=accepted, delta=delta,
+                              bounded=bounded, testcases=testcases,
+                              step=step, cost=cost, best=best)
+
+
+def _sample_chain(steps=10, kind="opcode"):
+    telemetry = ChainTelemetry()
+    cost = 100
+    for step in range(steps):
+        accepted = step % 2 == 0
+        if accepted:
+            cost -= 1
+        _record(telemetry, kind, accepted=accepted,
+                delta=-1 if accepted else 3, bounded=False,
+                testcases=step % 4, step=step, cost=cost, best=cost)
+    telemetry.seal(steps - 1, cost, cost)
+    return telemetry
+
+
+def test_recording_tallies_moves_and_histogram():
+    telemetry = ChainTelemetry()
+    _record(telemetry, "opcode", accepted=True, delta=-5, bounded=False,
+            testcases=3, step=0, cost=95, best=95)
+    _record(telemetry, "opcode", accepted=False, delta=None,
+            bounded=True, testcases=1, step=1, cost=95, best=95)
+    _record(telemetry, "swap", accepted=False, delta=7, bounded=False,
+            testcases=4, step=2, cost=95, best=95)
+    assert telemetry.proposals == 3
+    assert telemetry.accepted == 1
+    assert telemetry.testcases_evaluated == 8
+    table = dict(telemetry.move_table())
+    assert table["opcode"] == {"proposed": 2, "accepted": 1,
+                               "accepted_delta": -5,
+                               "rejected_delta": 0, "bounded": 1}
+    assert table["swap"]["rejected_delta"] == 7
+    assert telemetry.acceptance_rate() == pytest.approx(1 / 3)
+    assert telemetry.acceptance_rate("opcode") == pytest.approx(0.5)
+    assert telemetry.acceptance_rate("missing") == 0.0
+    assert telemetry.testcase_hist.nonzero() == [(1, 1), (3, 1), (4, 1)]
+
+
+def test_roundtrip_through_json():
+    telemetry = _sample_chain()
+    telemetry.runtime["seconds"] = 1.5
+    back = ChainTelemetry.from_json(telemetry.to_json())
+    assert back == telemetry
+    assert "runtime" not in telemetry.deterministic_json()
+
+
+def test_extend_shifts_continuation_traces():
+    first = _sample_chain(steps=8)
+    second = _sample_chain(steps=8)
+    first.runtime["seconds"] = 1.0
+    second.runtime["seconds"] = 0.5
+    first.extend(second, step_offset=8)
+    assert first.proposals == 16
+    assert first.runtime["seconds"] == pytest.approx(1.5)
+    xs = [x for x, _y in first.cost_trace.points]
+    assert xs == sorted(xs)              # segments continue, not overlap
+    assert max(xs) >= 8                  # the shifted segment is there
+
+
+def test_absorb_is_order_insensitive():
+    chains = [_sample_chain(steps=n, kind=k)
+              for n, k in ((5, "opcode"), (9, "swap"), (7, "operand"))]
+    forward, backward = ChainTelemetry(), ChainTelemetry()
+    for chain in chains:
+        forward.absorb(chain)
+    for chain in reversed(chains):
+        backward.absorb(chain)
+    # the property the in-progress report relies on: merging in any
+    # order produces the same deterministic document
+    assert forward.deterministic_json() == backward.deterministic_json()
+    assert forward.proposals == sum(c.proposals for c in chains)
+    # traces stay per-chain: absorb never invents a merged curve
+    assert forward.cost_trace.points == []
