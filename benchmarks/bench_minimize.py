@@ -1,0 +1,199 @@
+"""Minimize + CEGIS flywheel: shrink wins, and warmed re-search wins.
+
+Two claims under test, reported to ``BENCH_minimize.json``:
+
+1. **Shrink** — `repro minimize` on suite kernels' -O0 listings
+   removes instructions with a symbolic proof behind every accepted
+   step, and (run with an empty prefilter suite) harvests the
+   refutation counterexamples. Re-minimizing *warm* — seeded with that
+   harvest — reaches the same fixed point with fewer validator
+   queries. Gate: at least ``--min-shrunk`` kernels shrink.
+
+2. **Hardening** — counterexamples harvested by one search measurably
+   reduce proposals-to-first-verified on a warmed re-search with the
+   same seed. Each micro-target starts from a deliberately degenerate
+   base testcase (constant zero inputs), so the cold synthesis run
+   keeps finding plausible-but-wrong zero-cost candidates; the warm
+   run starts from base + the cold run's counterexamples. Gate: over
+   the comparable runs (cold verified and harvested at least one
+   counterexample), warm spends strictly fewer total proposals.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_minimize.py \
+        --kernels p01 p03 p06 p12 p14 --out BENCH_minimize.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.cost.function import CostFunction, Phase
+from repro.minimize import Minimizer
+from repro.search.config import SearchConfig
+from repro.search.phases import SynthesisPhase
+from repro.suite.registry import benchmark as get_benchmark
+from repro.suite.runner import budget_scale
+from repro.testgen.annotations import Annotations, ConstantInput
+from repro.testgen.generator import TestcaseGenerator
+from repro.testgen.suite import append_unique
+from repro.verifier.validator import LiveSpec, Validator
+from repro.x86.parser import parse_program
+
+DEFAULT_KERNELS = ("p01", "p03", "p06", "p12", "p14")
+
+# micro-targets for the hardening experiment: one-instruction truths
+# behind a large region of programs that fool the degenerate base
+# testcase (live-in register pinned to 0)
+MICRO_TARGETS = (
+    ("addrr", "leaq (rdi,rsi), rax", ("rdi", "rsi")),
+    ("inc5", "leaq 5(rdi), rax", ("rdi",)),
+)
+SYNTH_SEEDS = (1, 2, 3, 4)
+
+
+# -- claim 1: shrink + counterexample harvest ---------------------------------
+
+def measure_shrink(kernel: str) -> dict:
+    bench = get_benchmark(kernel)
+    def minimize(suite):
+        return Minimizer(bench.o0, bench.spec,
+                         bench.annotations).minimize(bench.o0,
+                                                     testcases=suite)
+    cold = minimize(())               # every refutation pays a proof
+    warm = minimize(cold.cegis_testcases)
+    assert str(warm.program) == str(cold.program)
+    return {
+        "instructions_before": cold.original.instruction_count,
+        "instructions_after": cold.program.instruction_count,
+        "instructions_removed": cold.instructions_removed,
+        "verify_calls": cold.verify_calls,
+        "refuted": cold.refuted,
+        "cegis_testcases": len(cold.cegis_testcases),
+        "warm_verify_calls": warm.verify_calls,
+        "warm_refuted": warm.refuted,
+    }
+
+
+# -- claim 2: warmed re-search verifies sooner --------------------------------
+
+def _synthesize(target, spec, suite, generator, config, seed):
+    cost_fn = CostFunction(list(suite), target, phase=Phase.SYNTHESIS)
+    phase = SynthesisPhase(target, spec, cost_fn, generator,
+                           Validator(), config)
+    result = phase.run(seed=seed)
+    harvested = cost_fn.testcases[len(suite):]
+    return result, harvested
+
+
+def measure_hardening(name: str, text: str,
+                      live_in: tuple[str, ...]) -> list[dict]:
+    target = parse_program(text)
+    spec = LiveSpec(live_in=live_in, live_out=("rax",))
+    weak = Annotations(inputs={live_in[0]: ConstantInput(0)})
+    base = TestcaseGenerator(target, spec, weak, seed=11).generate(1)
+    generator = TestcaseGenerator(target, spec, Annotations(), seed=11)
+    config = SearchConfig(
+        ell=4, beta=0.3, seed=0,
+        synthesis_proposals=int(60_000 * budget_scale()))
+    rows = []
+    for seed in SYNTH_SEEDS:
+        cold, harvested = _synthesize(target, spec, base, generator,
+                                      config, seed)
+        row = {
+            "target": name, "seed": seed,
+            "cold_proposals": cold.chain.stats.proposals,
+            "cold_validations": cold.validations,
+            "cold_verified": bool(cold.verified),
+            "counterexamples": len(harvested),
+            "comparable": False,
+        }
+        if cold.verified and harvested:
+            suite = list(base)
+            append_unique(suite, harvested)
+            warm, _ = _synthesize(target, spec, suite, generator,
+                                  config, seed)
+            row.update({
+                "comparable": bool(warm.verified),
+                "warm_proposals": warm.chain.stats.proposals,
+                "warm_validations": warm.validations,
+                "warm_verified": bool(warm.verified),
+            })
+        rows.append(row)
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kernels", nargs="+",
+                        default=list(DEFAULT_KERNELS))
+    parser.add_argument("--min-shrunk", type=int, default=3,
+                        help="gate: at least this many kernels must "
+                             "lose instructions (default 3)")
+    parser.add_argument("--out", default="BENCH_minimize.json")
+    args = parser.parse_args(argv)
+
+    report: dict = {"kernels": {}, "hardening": []}
+    shrunk = cegis_total = 0
+    for kernel in args.kernels:
+        row = measure_shrink(kernel)
+        report["kernels"][kernel] = row
+        shrunk += 1 if row["instructions_removed"] > 0 else 0
+        cegis_total += row["cegis_testcases"]
+        print(f"{kernel:>6}: {row['instructions_before']} -> "
+              f"{row['instructions_after']} instructions "
+              f"({row['verify_calls']} verify calls, "
+              f"{row['refuted']} refuted, {row['cegis_testcases']} "
+              f"cex; warm re-run {row['warm_verify_calls']} calls)")
+    report["kernels_shrunk"] = shrunk
+    report["cegis_testcases_total"] = cegis_total
+
+    cold_total = warm_total = comparable = 0
+    for name, text, live_in in MICRO_TARGETS:
+        rows = measure_hardening(name, text, live_in)
+        report["hardening"].extend(rows)
+        for row in rows:
+            if not row["comparable"]:
+                continue
+            comparable += 1
+            cold_total += row["cold_proposals"]
+            warm_total += row["warm_proposals"]
+            print(f"{name:>6} seed {row['seed']}: cold "
+                  f"{row['cold_proposals']} proposals "
+                  f"({row['cold_validations']} validations) -> warm "
+                  f"{row['warm_proposals']} "
+                  f"({row['warm_validations']})")
+    report["comparable_runs"] = comparable
+    report["cold_proposals_total"] = cold_total
+    report["warm_proposals_total"] = warm_total
+    if comparable:
+        print(f"hardening: {warm_total}/{cold_total} proposals to "
+              f"first verified over {comparable} comparable runs")
+
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+
+    if shrunk < args.min_shrunk:
+        print(f"FAIL: only {shrunk} kernels shrank "
+              f"(need {args.min_shrunk})", file=sys.stderr)
+        return 1
+    if cegis_total == 0:
+        print("FAIL: no counterexamples harvested", file=sys.stderr)
+        return 1
+    if comparable == 0:
+        print("FAIL: no comparable cold/warm synthesis runs",
+              file=sys.stderr)
+        return 1
+    if warm_total >= cold_total:
+        print("FAIL: warmed re-search did not reduce proposals to "
+              f"first verified ({warm_total} >= {cold_total})",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,15 +32,21 @@ from repro.cost.terms import (EVALUATORS, CostSpec, CostTerm,
 from repro.engine.budget import (BudgetSpec, available_budgets,
                                  register_budget)
 from repro.engine.campaign import EngineOptions
+from repro.minimize import (CounterexampleSuite, Minimizer,
+                            MinimizeResult, MinimizeSpec,
+                            available_passes, register_pass,
+                            shrink_failing)
 from repro.search.config import SearchConfig
 from repro.search.strategies import (SearchStrategy, StrategySpec,
                                      available_strategies, make_strategy,
                                      register_strategy)
 
-__all__ = ["BudgetSpec", "CostSpec", "CostTerm", "EVALUATORS",
-           "EngineOptions", "Result", "SearchConfig", "SearchStrategy",
-           "Session", "StrategySpec", "Target", "TermContext",
-           "available_budgets", "available_cost_terms",
+__all__ = ["BudgetSpec", "CostSpec", "CostTerm",
+           "CounterexampleSuite", "EVALUATORS", "EngineOptions",
+           "MinimizeResult", "MinimizeSpec", "Minimizer", "Result",
+           "SearchConfig", "SearchStrategy", "Session", "StrategySpec",
+           "Target", "TermContext", "available_budgets",
+           "available_cost_terms", "available_passes",
            "available_strategies", "make_cost_term", "make_strategy",
            "parse_registers", "register_budget", "register_cost_term",
-           "register_strategy"]
+           "register_pass", "register_strategy", "shrink_failing"]

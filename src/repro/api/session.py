@@ -15,15 +15,20 @@ results for the same configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.api.targets import Target
 from repro.cost.terms import CostSpec
 from repro.engine.campaign import Campaign, EngineOptions
+from repro.engine.checkpoint import CheckpointStore
+from repro.minimize.driver import Minimizer, MinimizeResult
+from repro.minimize.spec import MinimizeSpec
+from repro.perfsim.model import actual_runtime
 from repro.search.config import SearchConfig
 from repro.search.stoke import StokeResult
 from repro.search.strategies import StrategySpec
+from repro.telemetry import MetricsLog
 from repro.verifier.validator import Validator
 from repro.x86.printer import format_program
 
@@ -58,6 +63,9 @@ class Result:
     #: Deterministic search-telemetry summary (merged over all chains);
     #: None when no chain carried telemetry.
     telemetry: dict[str, Any] | None = None
+    #: Shrink summary (``MinimizeResult.to_json()`` minus runtime) when
+    #: the session ran with minimization; None otherwise.
+    minimize: dict[str, Any] | None = None
 
     @property
     def improved(self) -> bool:
@@ -84,6 +92,7 @@ class Result:
             "testcases_per_proposal":
                 round(self.testcases_per_proposal, 3),
             "telemetry": self.telemetry,
+            "minimize": self.minimize,
         }
 
 
@@ -110,6 +119,12 @@ class Session:
             ``"compiled"`` (default) or ``"reference"``; overrides any
             ``evaluator=`` token in the cost spec. Results are
             bit-identical either way; only throughput differs.
+        minimize: shrink the winning rewrite before the result is
+            built — True for the default pass list, a spec string
+            (comma-separated pass names) or
+            :class:`~repro.minimize.spec.MinimizeSpec` to select
+            passes, False/None to leave winners as found. Overrides
+            ``engine.minimize`` when set.
     """
 
     def __init__(self, target: Target, *,
@@ -118,7 +133,8 @@ class Session:
                  strategy: StrategySpec | str | None = None,
                  validator: Validator | None | object = _DEFAULT_VALIDATOR,
                  engine: EngineOptions | None = None,
-                 evaluator: str | None = None) -> None:
+                 evaluator: str | None = None,
+                 minimize: MinimizeSpec | str | bool | None = None) -> None:
         self.target = target
         self.config = config or SearchConfig()
         self.cost = CostSpec.parse(cost).with_evaluator(evaluator)
@@ -127,6 +143,7 @@ class Session:
             validator = Validator()
         self.validator = validator
         self.engine = engine
+        self.minimize = minimize
 
     def campaign(self) -> Campaign:
         """The assembled campaign, not yet running.
@@ -137,6 +154,8 @@ class Session:
         :class:`Result`.
         """
         options = self.engine or EngineOptions()
+        if self.minimize is not None and self.minimize is not False:
+            options = replace(options, minimize=self.minimize)
         return Campaign(
             self.target.program, self.target.spec, self.target.annotations,
             config=self.config, validator=self.validator,
@@ -147,6 +166,41 @@ class Session:
         """Execute the campaign and wrap its outcome."""
         campaign = self.campaign()
         return self.wrap(campaign, campaign.run())
+
+    def _minimize_outcome(self, campaign: Campaign,
+                          outcome: StokeResult) -> MinimizeResult | None:
+        """Shrink the campaign's verified winner, per the options.
+
+        Returns None when minimization is off, the campaign found no
+        verified rewrite, or the rewrite is already minimal. Runs in
+        the orchestrating process on the campaign's merged suite, so
+        the shrunk program is a pure function of the campaign outcome
+        — bit-identical at any worker count.
+        """
+        options = campaign.options
+        if options.minimize is None or outcome.rewrite is None \
+                or not outcome.verified:
+            return None
+        validator = (self.validator
+                     if isinstance(self.validator, Validator)
+                     else Validator())
+        minimizer = Minimizer(campaign.target, campaign.spec,
+                              campaign.annotations,
+                              validator=validator,
+                              spec_passes=options.minimize)
+        minimized = minimizer.minimize(outcome.rewrite,
+                                       testcases=outcome.testcases)
+        if options.run_dir is not None:
+            if options.harden and minimized.cegis_testcases:
+                from repro.minimize.cegis import CounterexampleSuite
+                suite = CounterexampleSuite.for_run_dir(options.run_dir)
+                suite.note(outcome.testcases)
+                suite.append(minimized.cegis_testcases)
+            log = MetricsLog(
+                CheckpointStore(options.run_dir).metrics_path,
+                append=True)
+            log.record_minimize(campaign.name, minimized.to_json())
+        return minimized
 
     def wrap(self, campaign: Campaign, outcome: StokeResult) -> Result:
         """Report one campaign outcome as a :class:`Result`."""
@@ -162,15 +216,24 @@ class Session:
                 "moves": {kind: row
                           for kind, row in merged.move_table()},
             }
+        minimized = self._minimize_outcome(campaign, outcome)
+        rewrite = outcome.rewrite
+        rewrite_cycles = outcome.rewrite_cycles
+        speedup = outcome.speedup
+        if minimized is not None:
+            rewrite = minimized.program
+            rewrite_cycles = actual_runtime(rewrite)
+            if rewrite_cycles:
+                speedup = outcome.target_cycles / rewrite_cycles
         return Result(
             name=self.target.name,
             verified=outcome.verified,
             target_asm=format_program(outcome.target.compact()),
-            rewrite_asm=(None if outcome.rewrite is None
-                         else format_program(outcome.rewrite)),
+            rewrite_asm=(None if rewrite is None
+                         else format_program(rewrite)),
             target_cycles=outcome.target_cycles,
-            rewrite_cycles=outcome.rewrite_cycles,
-            speedup=outcome.speedup,
+            rewrite_cycles=rewrite_cycles,
+            speedup=speedup,
             seconds=outcome.seconds,
             cost=self.cost.spec_string(),
             strategy=self.strategy.spec_string(),
@@ -182,4 +245,6 @@ class Session:
             chains_scheduled=outcome.chains_scheduled,
             chains_saved=outcome.chains_saved,
             telemetry=telemetry,
+            minimize=(None if minimized is None
+                      else minimized.to_json()),
         )

@@ -10,6 +10,8 @@ Usage::
     python -m repro.cli optimize-file kernel.s --live-in rdi,rsi \\
         --live-out rax
     python -m repro.cli validate p01              # prove gcc == o0
+    python -m repro.cli minimize p01              # shrink, re-verified
+    python -m repro.cli minimize p01 --rewrite rewrite.s --json
     python -m repro.cli speedups p01 p03 p06      # Figure 10 rows
     python -m repro.cli engine campaign --jobs 8 --run-dir runs/sweep
     python -m repro.cli engine campaign --jobs 8 --chains 8 \\
@@ -34,6 +36,8 @@ from repro.engine.budget import BudgetSpec, available_budgets
 from repro.engine.campaign import EngineOptions
 from repro.engine.events import format_event
 from repro.errors import ReproError
+from repro.minimize import (CounterexampleSuite, DEFAULT_PASSES,
+                            Minimizer, available_passes)
 from repro.perfsim.model import actual_runtime
 from repro.search.config import SearchConfig
 from repro.search.strategies import available_strategies
@@ -106,6 +110,8 @@ def _engine_options(args: argparse.Namespace) -> EngineOptions:
                          resume=args.resume,
                          budget=BudgetSpec.parse(args.budget),
                          interleave=getattr(args, "interleave", False),
+                         minimize=getattr(args, "minimize", None),
+                         harden=getattr(args, "harden", False),
                          progress=_progress_listener(args))
 
 
@@ -174,6 +180,65 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if outcome.equivalent else 1
 
 
+def _cmd_minimize(args: argparse.Namespace) -> int:
+    """Shrink a rewrite against a suite kernel's target and live spec.
+
+    Minimization runs entirely in this process (``--jobs`` is accepted
+    for symmetry but cannot change the result), so the ``--json``
+    report — the :meth:`MinimizeResult.to_json` document minus its
+    ``runtime`` section, plus both programs — is bit-identical across
+    worker counts, seeds being equal.
+    """
+    from repro.testgen.generator import TestcaseGenerator
+    from repro.testgen.suite import append_unique
+    from repro.x86.parser import parse_program
+    from repro.x86.printer import format_program
+    target = Target.from_suite(args.kernel)
+    if args.rewrite is None:
+        rewrite = target.program
+    else:
+        path = Path(args.rewrite)
+        try:
+            rewrite = parse_program(path.read_text())
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    generator = TestcaseGenerator(target.program, target.spec,
+                                  target.annotations, seed=args.seed)
+    testcases = generator.generate(args.testcases)
+    suite = None
+    if args.run_dir is not None:
+        suite = CounterexampleSuite.for_run_dir(args.run_dir)
+        append_unique(testcases, suite.testcases())
+        suite.note(testcases)
+    minimizer = Minimizer(target.program, target.spec,
+                          target.annotations, spec_passes=args.passes)
+    result = minimizer.minimize(rewrite, testcases=testcases)
+    if suite is not None:
+        suite.append(result.cegis_testcases)
+        from repro.telemetry import MetricsLog
+        log = MetricsLog(Path(args.run_dir) / "metrics.jsonl",
+                         append=True)
+        log.record_minimize(target.name, result.to_json())
+    if args.json:
+        report = {key: value for key, value in result.to_json().items()
+                  if key != "runtime"}
+        report["kernel"] = target.name
+        report["original_asm"] = format_program(result.original)
+        report["rewrite_asm"] = format_program(result.program)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"minimized {target.name}: "
+          f"{result.original.instruction_count} -> "
+          f"{result.program.instruction_count} instructions "
+          f"(measure {result.measure_before} -> {result.measure_after}, "
+          f"{result.verify_calls} verify calls, {result.refuted} "
+          f"refuted, {len(result.cegis_testcases)} counterexamples, "
+          f"{result.seconds:.1f}s)")
+    print(format_program(result.program))
+    return 0
+
+
 def _cmd_speedups(args: argparse.Namespace) -> int:
     for index, name in enumerate(args.kernels):
         outcome = evaluate_benchmark(benchmark(name), seed=17 + index)
@@ -205,6 +270,8 @@ def _cmd_engine_campaign(args: argparse.Namespace) -> int:
         return EngineOptions(jobs=args.jobs, run_dir=run_dir,
                              resume=resume, budget=budget,
                              interleave=args.interleave,
+                             minimize=args.minimize,
+                             harden=args.harden,
                              progress=progress)
 
     if args.interleave:
@@ -329,6 +396,42 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("kernel")
     validate.set_defaults(fn=_cmd_validate)
 
+    minimize = sub.add_parser(
+        "minimize",
+        help="shrink a rewrite, re-verifying every accepted step")
+    minimize.add_argument("kernel",
+                          help="suite kernel supplying the target and "
+                               "live spec")
+    minimize.add_argument(
+        "--rewrite", default=None, metavar="FILE",
+        help=".s listing to shrink (default: the kernel's own "
+             "unoptimized codegen — shows what deletion alone finds)")
+    minimize.add_argument(
+        "--passes", default=None, metavar="LIST",
+        help="comma-separated shrink passes, in application order "
+             f"(default: {','.join(DEFAULT_PASSES)}; "
+             f"available: {', '.join(available_passes())})")
+    minimize.add_argument("--testcases", type=int, default=16,
+                          help="base suite size for the emulator "
+                               "prefilter (0 = validator only, which "
+                               "maximizes CEGIS counterexamples)")
+    minimize.add_argument("--seed", type=int, default=0)
+    minimize.add_argument(
+        "--jobs", type=int, default=1,
+        help="accepted for interface symmetry; minimization runs "
+             "in-process and its output is bit-identical at any "
+             "worker count")
+    minimize.add_argument(
+        "--run-dir", default=None,
+        help="run directory: merges its persistent counterexample "
+             "suite into the prefilter, appends newly found "
+             "counterexamples back, and journals a minimize record "
+             "to metrics.jsonl")
+    minimize.add_argument("--json", action="store_true",
+                          help="emit the deterministic shrink report "
+                               "(runtime stripped) plus the programs")
+    minimize.set_defaults(fn=_cmd_minimize)
+
     speedups = sub.add_parser("speedups", help="Figure 10 rows")
     speedups.add_argument("kernels", nargs="+")
     speedups.set_defaults(fn=_cmd_speedups)
@@ -420,9 +523,22 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
              "adaptive:stable=K (stop a kernel once its best ranking "
              "is unchanged for K chains), plateau:eps=E,stable=K "
              "(stop once best cycles improved by less than E over K "
-             "chains), or wallclock:secs=S (deny new chain grants "
-             "after S seconds) "
+             "chains), wallclock:secs=S (deny new chain grants "
+             "after S seconds), or validations:n=K (stop once "
+             "completed chains have spent K validator queries) "
              f"(available: {', '.join(available_budgets())})")
+    parser.add_argument(
+        "--minimize", nargs="?", const=True, default=False,
+        metavar="PASSES",
+        help="shrink the winning rewrite before reporting it, "
+             "re-verifying every accepted step (optionally a "
+             "comma-separated pass list; default passes: "
+             f"{','.join(DEFAULT_PASSES)})")
+    parser.add_argument(
+        "--harden", action="store_true",
+        help="seed base testcases from the run directory's persistent "
+             "counterexample suite and persist new counterexamples "
+             "back (requires --run-dir)")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -41,6 +41,7 @@ from repro.emulator.compile import compile_program
 from repro.emulator.cpu import Emulator
 from repro.emulator.state import MachineState
 from repro.errors import SearchError
+from repro.testgen.suite import input_key
 from repro.testgen.testcase import Testcase
 from repro.x86.program import Program
 
@@ -117,6 +118,7 @@ class CostFunction:
             [None] * len(self.testcases)
         self._pool_dirty: list[tuple | None] = [None] * len(self.testcases)
         self._fail_counts = [0] * len(self.testcases)
+        self._input_keys = {input_key(tc) for tc in self.testcases}
         if terms is None:
             terms = CostSpec(DEFAULT_COST_TERMS).instantiate()
         context = TermContext(target=target, weights=self.weights,
@@ -137,11 +139,23 @@ class CostFunction:
                 "cost spec needs at least one per-testcase term "
                 "(e.g. correctness)")
 
-    def add_testcase(self, testcase: Testcase) -> None:
+    def add_testcase(self, testcase: Testcase) -> bool:
+        """Append a counterexample to the suite; True if it was novel.
+
+        Testcases are keyed by their *inputs*: a duplicate input would
+        add per-proposal evaluation cost without distinguishing any new
+        candidates (the validator can re-discover the same
+        counterexample when refinement and hardened base suites
+        overlap), so duplicates are dropped.
+        """
+        if input_key(testcase) in self._input_keys:
+            return False
+        self._input_keys.add(input_key(testcase))
         self.testcases.append(testcase)
         self._pools.append(None)
         self._pool_dirty.append(None)
         self._fail_counts.append(0)
+        return True
 
     def _visit_order(self) -> list[int]:
         """Testcase indices, most-discriminating-first.

@@ -23,6 +23,12 @@ schedules chains under:
                              own campaign (a fresh S per kernel), while
                              an interleaved sweep is one campaign whose
                              kernels share one clock
+``validations:n=K``          stop scheduling new chains once the
+                             campaign's completed chains have spent K
+                             validator queries in total — the cap for
+                             minimize/CEGIS-heavy campaigns whose cost
+                             is dominated by symbolic equivalence
+                             checks, not proposals
 ===========================  =============================================
 
 Like cost terms and search strategies, budgets are resolved by name
@@ -54,6 +60,7 @@ DEFAULT_STABLE_CHAINS = 2
 DEFAULT_PLATEAU_EPS = 1.0
 # the paper's per-kernel cluster budget: 30 minutes of wall-clock
 DEFAULT_WALLCLOCK_SECS = 1800.0
+DEFAULT_VALIDATIONS = 64
 
 # The ranking signature a rule observes: (best program key, modeled
 # cycles). Cost is deliberately excluded — the merged testcase suite
@@ -71,16 +78,23 @@ class StoppingRule:
         needs_ranking: True if the rule consumes per-chain ranking
             feedback (``observe``); False skips the per-round re-rank
             entirely (``wallclock`` only needs the clock).
+        needs_validations: True if the rule consumes the per-round
+            validator-query spend (``charge``) — cheaper feedback than
+            a re-rank, still a pure function of the plan-order results.
         stop_reason: the ``kernel-stopped`` event reason this rule
             reports when it denies a grant.
     """
 
     incremental: bool = False
     needs_ranking: bool = True
+    needs_validations: bool = False
     stop_reason: str = "stable"
 
     def observe(self, signature: Signature) -> None:
         """Record the running best ranking after one completed chain."""
+
+    def charge(self, validations: int) -> None:
+        """Record validator queries newly spent by completed chains."""
 
     def should_stop(self) -> bool:
         """True once further chains are judged not worth scheduling."""
@@ -221,6 +235,45 @@ class WallclockRule(StoppingRule):
         return elapsed < self.secs
 
 
+class ValidationsRule(StoppingRule):
+    """Stop once completed chains have spent ``n`` validator queries.
+
+    Symbolic equivalence checks are the expensive step of a
+    minimize/CEGIS-heavy campaign (every zero-cost candidate and every
+    shrink step pays one), so this rule budgets *validator work*
+    directly: the campaign charges each completed round's validation
+    count in plan order, and grants stop once the total reaches the
+    cap. Like the ranking rules, decisions are a pure function of the
+    plan-order result stream — bit-identical at any worker count. The
+    cap gates *grants*, never a running chain, so a round that
+    overshoots still completes (the same grant-boundary semantics as
+    ``wallclock``).
+    """
+
+    incremental = True
+    needs_ranking = False
+    needs_validations = True
+    stop_reason = "validations"
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise RegistryError(
+                f"validations budget needs n >= 1, got {n}")
+        self.n = n
+        self._spent = 0
+
+    def charge(self, validations: int) -> None:
+        self._spent += validations
+
+    def should_stop(self) -> bool:
+        return self._spent >= self.n
+
+    @property
+    def spent(self) -> int:
+        """Validator queries charged so far."""
+        return self._spent
+
+
 # -- the registry -------------------------------------------------------------
 
 RuleFactory = Callable[["BudgetSpec"], StoppingRule]
@@ -253,6 +306,7 @@ register_budget("adaptive", lambda spec: StableRule(spec.stable))
 register_budget("plateau",
                 lambda spec: PlateauRule(spec.eps, spec.stable))
 register_budget("wallclock", lambda spec: WallclockRule(spec.secs))
+register_budget("validations", lambda spec: ValidationsRule(spec.n))
 
 
 # -- the spec -----------------------------------------------------------------
@@ -265,9 +319,10 @@ _PARAMETERS: dict[str, dict[str, Callable[[str], float]]] = {
     "adaptive": {"stable": int},
     "plateau": {"eps": float, "stable": int},
     "wallclock": {"secs": float},
+    "validations": {"n": int},
 }
 _CUSTOM_PARAMETERS: dict[str, Callable[[str], float]] = {
-    "stable": int, "eps": float, "secs": float,
+    "stable": int, "eps": float, "secs": float, "n": int,
 }
 
 
@@ -292,12 +347,14 @@ class BudgetSpec:
         stable: the K of ``adaptive``/``plateau``; ignored otherwise.
         eps: the minimum improvement of ``plateau:eps=E``.
         secs: the deadline of ``wallclock:secs=S``.
+        n: the validator-query cap of ``validations:n=K``.
     """
 
     kind: str = "fixed"
     stable: int = DEFAULT_STABLE_CHAINS
     eps: float = DEFAULT_PLATEAU_EPS
     secs: float = DEFAULT_WALLCLOCK_SECS
+    n: int = DEFAULT_VALIDATIONS
 
     def __post_init__(self) -> None:
         if self.kind not in _BUDGETS:
@@ -312,11 +369,15 @@ class BudgetSpec:
         if self.kind == "wallclock" and self.secs <= 0:
             raise RegistryError(
                 f"budget parameter secs must be > 0, got {self.secs}")
+        if self.kind == "validations" and self.n < 1:
+            raise RegistryError(
+                f"budget parameter n must be >= 1, got {self.n}")
 
     @classmethod
     def parse(cls, text: str | BudgetSpec | None) -> BudgetSpec:
         """Parse ``"fixed"``, ``"adaptive[:stable=K]"``,
-        ``"plateau[:eps=E,stable=K]"``, or ``"wallclock[:secs=S]"``.
+        ``"plateau[:eps=E,stable=K]"``, ``"wallclock[:secs=S]"``, or
+        ``"validations[:n=K]"``.
 
         Names and parameters are validated immediately so a typo fails
         at the flag, not at the end of the first chain.
@@ -361,7 +422,8 @@ class BudgetSpec:
                                          DEFAULT_STABLE_CHAINS)),
                    eps=float(values.get("eps", DEFAULT_PLATEAU_EPS)),
                    secs=float(values.get("secs",
-                                         DEFAULT_WALLCLOCK_SECS)))
+                                         DEFAULT_WALLCLOCK_SECS)),
+                   n=int(values.get("n", DEFAULT_VALIDATIONS)))
 
     def spec_string(self) -> str:
         """The canonical flag/manifest form (defaults are implicit)."""
@@ -372,6 +434,8 @@ class BudgetSpec:
                     f"stable={self.stable}")
         if self.kind == "wallclock":
             return f"wallclock:secs={_format_number(self.secs)}"
+        if self.kind == "validations":
+            return f"validations:n={self.n}"
         return self.kind
 
     def rule(self) -> StoppingRule:

@@ -75,6 +75,19 @@ class EngineOptions:
             at a time. Results are bit-identical either way; the
             policy is frozen in the checkpoint manifest (v4) so a
             resume cannot silently switch schedulers.
+        minimize: shrink each kernel's winning rewrite after the
+            campaign aggregates — a
+            :class:`~repro.minimize.spec.MinimizeSpec`, its spec
+            string (a comma-separated pass list, or ``"default"``), or
+            None/False to leave winners as found. The policy is frozen
+            in the manifest (v6): minimization changes the reported
+            rewrite, so a resume cannot silently toggle it.
+        harden: seed this campaign's base testcases from the kernel's
+            persistent counterexample suite (``cex_suite.jsonl`` in
+            the run directory) and persist every counterexample its
+            chains discover back — the cross-run CEGIS flywheel.
+            Requires ``run_dir``; frozen in the manifest like
+            ``minimize``.
         progress: optional live listener for campaign progress events;
             also streamed to ``<run_dir>/events.jsonl`` when
             checkpointing.
@@ -85,6 +98,8 @@ class EngineOptions:
     resume: bool = False
     budget: BudgetSpec | str = field(default_factory=BudgetSpec)
     interleave: bool = False
+    minimize: "MinimizeSpec | str | bool | None" = None
+    harden: bool = False
     progress: ProgressListener | None = None
 
     def __post_init__(self) -> None:
@@ -92,13 +107,33 @@ class EngineOptions:
             raise EngineError("jobs must be at least 1")
         if self.resume and self.run_dir is None:
             raise EngineError("--resume requires a run directory")
+        if self.harden and self.run_dir is None:
+            raise EngineError("harden requires a run directory (the "
+                              "counterexample suite lives there)")
         object.__setattr__(self, "budget", BudgetSpec.parse(self.budget))
+        from repro.minimize.spec import MinimizeSpec
+        minimize = self.minimize
+        if minimize is False:
+            minimize = None
+        elif minimize is True:
+            minimize = MinimizeSpec()
+        elif minimize is not None:
+            minimize = MinimizeSpec.parse(minimize)
+        object.__setattr__(self, "minimize", minimize)
 
     @property
     def interleave_policy(self) -> str:
         """The manifest form of the scheduling policy."""
         return (INTERLEAVE_ROUNDROBIN if self.interleave
                 else INTERLEAVE_NONE)
+
+    @property
+    def minimize_policy(self) -> str:
+        """The manifest form of the minimize policy."""
+        from repro.minimize.spec import MINIMIZE_OFF
+        if self.minimize is None:
+            return MINIMIZE_OFF
+        return self.minimize.spec_string()
 
 
 class Campaign:
@@ -150,6 +185,8 @@ class Campaign:
             "strategy": self.strategy.spec_string(),
             "budget": self.budget.spec_string(),
             "interleave": self.options.interleave_policy,
+            "minimize": self.options.minimize_policy,
+            "harden": self.options.harden,
         }
 
     def _initial_state(self, store: CheckpointStore | None) \
@@ -159,6 +196,11 @@ class Campaign:
         A resumed campaign takes its testcases from the manifest (they
         were random-generated; regeneration is deterministic, but the
         manifest is the ground truth the journaled jobs actually saw).
+        A fresh hardened campaign merges the run directory's persisted
+        counterexample suite into the generated base before the
+        manifest freezes them — ``start_fresh`` truncates the journals
+        but never ``cex_suite.jsonl``, which is what makes the suite a
+        cross-run flywheel rather than per-run state.
         """
         if self.options.resume:
             assert store is not None
@@ -170,6 +212,12 @@ class Campaign:
                                       self.annotations,
                                       seed=self.config.seed)
         testcases = generator.generate(self.config.testcase_count)
+        if self.options.harden:
+            assert store is not None     # enforced by EngineOptions
+            from repro.minimize.cegis import CounterexampleSuite
+            from repro.testgen.suite import append_unique
+            suite = CounterexampleSuite.for_run_dir(store.run_dir)
+            append_unique(testcases, suite.testcases())
         if store is not None:
             manifest = self._fingerprint()
             manifest["testcases"] = [serialize.testcase_to_json(tc)

@@ -38,12 +38,23 @@ Manifest versions (any mismatch rejects the resume):
   Deterministic rules re-derive the same decisions on replay; the
   clock-driven ``wallclock`` rule cannot, so a resume replays the
   journaled decisions instead of re-consulting the clock.
-* **v5** (this PR): job payloads carry per-chain search telemetry
+* **v5** (PR 6): job payloads carry per-chain search telemetry
   (``chain.telemetry``) and the run directory gains ``metrics.jsonl``,
   the telemetry journal (:mod:`repro.telemetry.journal`). The journal
   is diagnostic, not resume state — but a v4 journal's payloads cannot
   supply telemetry for journal-satisfied chains on resume, so the
   version gate keeps resumed runs' metrics documents complete.
+* **v6** (this PR): adds ``minimize`` and ``harden`` — the rewrite
+  minimization policy (``off`` or a comma-separated pass list) and the
+  CEGIS hardening flag. Minimization changes the reported rewrite and
+  hardening changes the frozen base testcases, so both are fingerprint
+  fields: a resume under a different policy is rejected. Hardened run
+  directories also carry ``cex_suite.jsonl``, the persistent
+  counterexample suite (:mod:`repro.minimize.cegis`); it is
+  deliberately *not* truncated by :meth:`CheckpointStore.start_fresh`
+  — counterexamples accumulate across fresh runs (the flywheel), while
+  the manifest records exactly which of them this run's base suite
+  absorbed.
 
 A run directory may also hold ``events.jsonl``, the campaign progress
 stream (:mod:`repro.engine.events`), and ``metrics.jsonl``, the search
@@ -60,10 +71,11 @@ from pathlib import Path
 from repro.engine.serialize import Json, read_jsonl, require_fields
 from repro.errors import EngineError
 
-MANIFEST_VERSION = 5
+MANIFEST_VERSION = 6
 
 _FINGERPRINT_FIELDS = ("target", "spec", "annotations", "config",
-                       "cost", "strategy", "budget", "interleave")
+                       "cost", "strategy", "budget", "interleave",
+                       "minimize", "harden")
 
 
 class CheckpointStore:

@@ -101,6 +101,15 @@ class KernelSchedule:
                                    append=options.resume)
                         if self.store is not None else None)
         self.rule = campaign.budget.rule()
+        # the persistent CEGIS suite (harden): the fresh-start merge
+        # already happened in _initial_state; noting the frozen base
+        # keeps appends down to genuinely novel counterexamples
+        self.cex_suite = None
+        if options.harden and self.store is not None:
+            from repro.minimize.cegis import CounterexampleSuite
+            self.cex_suite = CounterexampleSuite.for_run_dir(
+                self.store.run_dir)
+            self.cex_suite.note(self.testcases)
         self.context = CampaignContext(
             target=campaign.target, spec=campaign.spec,
             annotations=campaign.annotations, config=config,
@@ -126,6 +135,7 @@ class KernelSchedule:
         self._opt_granted_all = False
         self._granted_chains = 0
         self._observed_chains = 0
+        self._charged_validations = 0
         self._in_flight: set[str] = set()
         self._result: StokeResult | None = None
         self._start_time = 0.0
@@ -180,6 +190,9 @@ class KernelSchedule:
         telemetry = None if chain is None else chain.get("telemetry")
         if self.metrics is not None and telemetry is not None:
             self.metrics.record_chain(self.name, job_id, telemetry)
+        if self.cex_suite is not None and payload["new_testcases"]:
+            self.cex_suite.append(
+                self._result_for(job_id).new_testcases)
 
     def next_grant(self, elapsed: float) -> list[ChainJob] | None:
         """The next wave of jobs to submit, or None.
@@ -339,8 +352,20 @@ class KernelSchedule:
         return granted, reason
 
     def _observe_round(self) -> None:
-        """Feed the just-completed round's running ranking to the rule."""
+        """Feed the just-completed round's feedback to the rule.
+
+        Ranking rules get the running best signature; validator-budget
+        rules get the round's *newly* spent validator queries (the
+        plan-order total minus what was already charged — a chain's
+        spend must never be double-counted when several rounds resolve
+        from the resume journal at once).
+        """
         self._observed_chains += 1
+        if self.rule.needs_validations:
+            total = sum(result.validations for result in
+                        self._synth_results + self._opt_results())
+            self.rule.charge(total - self._charged_validations)
+            self._charged_validations = total
         if not self.rule.needs_ranking:
             return
         results = self._opt_results()
@@ -372,6 +397,12 @@ class KernelSchedule:
                          chains_scheduled=chains_scheduled,
                          chains_saved=chains_saved)
         opt_results = self._opt_results()
+        if self.cex_suite is not None:
+            # backfill journal-satisfied chains (they never passed
+            # through complete()); dedup makes live chains no-ops
+            for result in self._synth_results + opt_results:
+                if result.new_testcases:
+                    self.cex_suite.append(result.new_testcases)
         merged = aggregator.merge_testcases(
             self.testcases, self._synth_results + opt_results)
         ranked = aggregator.final_ranking(campaign.target, config,

@@ -77,6 +77,15 @@ class EngineError(ReproError):
     """Raised for invalid campaign configurations or corrupt run state."""
 
 
+class MinimizeError(ReproError):
+    """Raised when a rewrite cannot be minimized.
+
+    The one non-negotiable precondition is that the input rewrite is
+    equivalent to the target: shrinking an unverified program would
+    produce a small wrong answer, so the minimizer refuses instead.
+    """
+
+
 class RegistryError(ReproError):
     """Raised for unknown (or conflicting) names in a component registry.
 

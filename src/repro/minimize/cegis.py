@@ -1,0 +1,100 @@
+"""The persistent counterexample suite: the cross-run CEGIS flywheel.
+
+Every verifier-found counterexample is a distinguishing input some
+candidate needed to be refuted on — the hardest kind of testcase to
+find by sampling. This module persists them per kernel, in the kernel's
+run directory::
+
+    <run_dir>/cex_suite.jsonl    {"v": 1, "testcase": {...}} per line
+
+so later searches on the same kernel start harder to fool: a fresh
+campaign with ``EngineOptions(harden=True)`` merges the persisted suite
+into its base testcases before the manifest freezes them (resume then
+replays the merged suite like any other manifest state), and every
+counterexample its chains or minimizations discover is appended back.
+Crucially, :meth:`CheckpointStore.start_fresh` truncates only the
+manifest and journals — the counterexample suite *survives* fresh
+restarts, which is what makes it a flywheel rather than per-run state.
+
+The file follows the repo's journaling discipline: append-only JSONL,
+flushed + fsynced per record, torn trailing line tolerated on read,
+records deduplicated by testcase input key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.engine.serialize import (iter_jsonl, testcase_from_json,
+                                    testcase_to_json)
+from repro.testgen.suite import InputKey, input_key
+from repro.testgen.testcase import Testcase
+
+SUITE_VERSION = 1
+SUITE_FILENAME = "cex_suite.jsonl"
+
+
+def suite_path(run_dir: str | Path) -> Path:
+    return Path(run_dir) / SUITE_FILENAME
+
+
+class CounterexampleSuite:
+    """One kernel's persistent counterexample file, with dedup state."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._seen: set[InputKey] = set()
+        self._loaded = self._load()
+
+    @classmethod
+    def for_run_dir(cls, run_dir: str | Path) -> "CounterexampleSuite":
+        return cls(suite_path(run_dir))
+
+    def _load(self) -> list[Testcase]:
+        testcases: list[Testcase] = []
+        if not self.path.exists():
+            return testcases
+        for record in iter_jsonl(self.path, "counterexample suite"):
+            if record.get("v") != SUITE_VERSION:
+                continue            # future format: skip, don't crash
+            testcase = testcase_from_json(record["testcase"])
+            key = input_key(testcase)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            testcases.append(testcase)
+        return testcases
+
+    def testcases(self) -> list[Testcase]:
+        """The persisted suite, deduplicated, in append order."""
+        return list(self._loaded)
+
+    def note(self, testcases: list[Testcase]) -> None:
+        """Mark testcases as already covered without persisting them
+        (e.g. a campaign's sampled base suite)."""
+        for testcase in testcases:
+            self._seen.add(input_key(testcase))
+
+    def append(self, testcases: list[Testcase]) -> int:
+        """Persist novel testcases; returns how many were written."""
+        novel = []
+        for testcase in testcases:
+            key = input_key(testcase)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            novel.append(testcase)
+        if not novel:
+            return 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as journal:
+            for testcase in novel:
+                record = {"v": SUITE_VERSION,
+                          "testcase": testcase_to_json(testcase)}
+                journal.write(json.dumps(record, sort_keys=True) + "\n")
+            journal.flush()
+            os.fsync(journal.fileno())
+        self._loaded.extend(novel)
+        return len(novel)

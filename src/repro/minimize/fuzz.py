@@ -1,0 +1,73 @@
+"""Failure shrinking for fuzzed programs: smallest program, same bug.
+
+The differential fuzzer (``tests/emulator/test_compile_fuzz.py``)
+surfaces programs on which the compiled evaluator diverges from the
+reference emulator. Those programs are move-generator noise — dozens of
+instructions, most irrelevant to the divergence. :func:`shrink_failing`
+is the minimizer turned inside out: instead of preserving *equivalence*
+(validated each step), it preserves an arbitrary caller-supplied
+*failure predicate*, greedily deleting and simplifying while the
+predicate still holds. Fuzz regressions then land in CI artifacts and
+assertion messages pre-reduced.
+
+The predicate runs the program, so it must tolerate any candidate the
+passes produce (deletion and immediate simplification never produce
+ill-formed instructions). Like the equivalence driver, shrinking is
+deterministic: same program + same predicate -> same minimal repro.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.minimize.passes import (constant_pass, identity_pass,
+                                   program_measure)
+from repro.x86.instruction import UNUSED, is_unused
+from repro.x86.program import Program
+
+FailurePredicate = Callable[[Program], bool]
+
+
+def shrink_failing(program: Program,
+                   still_fails: FailurePredicate) -> Program:
+    """Greedy delta-debugging against a failure predicate.
+
+    Args:
+        program: a program on which ``still_fails`` returns True.
+        still_fails: the failure oracle — True while the candidate
+            still exhibits the bug being preserved.
+
+    Returns:
+        A compacted program, no larger than the input, on which
+        ``still_fails`` still returns True. Every accepted step
+        strictly decreases the program measure, so shrinking always
+        terminates.
+    """
+    current = program
+    progressed = True
+    while progressed:
+        progressed = False
+        # deletion sweep: replace() keeps indices stable, so one pass
+        # over the slots can accept several deletions
+        for index in range(len(current.code)):
+            if is_unused(current.code[index]):
+                continue
+            candidate = current.replace(index, UNUSED)
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+        # operand simplification: identity deletions and trivial
+        # immediates make the surviving repro easier to read
+        for simplify in (identity_pass, constant_pass):
+            accepted = True
+            while accepted:
+                accepted = False
+                measure = program_measure(current)
+                for candidate in simplify(current, None):
+                    if program_measure(candidate) >= measure:
+                        continue
+                    if still_fails(candidate):
+                        current = candidate
+                        progressed = accepted = True
+                        break
+    return current.compact()

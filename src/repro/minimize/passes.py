@@ -1,0 +1,335 @@
+"""Shrink passes: deterministic candidate generators for the minimizer.
+
+A pass is a function ``(program, spec) -> iterator of candidate
+programs``. Candidates are *proposals*, not transformations known to be
+sound: the driver re-verifies every candidate with the symbolic
+validator before accepting it (the Revizor discipline — instruction,
+nop/identity, constant and mask passes, each followed by
+re-verification). A pass therefore only needs to be *plausible* and
+deterministic; cleverness belongs in the proposal order, never in
+unchecked reasoning about semantics.
+
+Acceptance additionally requires the candidate to be strictly simpler
+under :func:`program_measure`, a syntactic size measure. Every accepted
+step decreases a positive integer, so the driver's fixed-point loop
+terminates no matter what passes are registered.
+
+Like cost terms, strategies, and budgets, passes resolve by name from
+a registry (:func:`register_pass`), so a pass selection travels through
+CLI flags (``--passes``) and the checkpoint manifest's minimize policy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import (OperandTypeError, RegistryError,
+                          unknown_name_message)
+from repro.search.dce import eliminate_dead_code
+from repro.verifier.validator import LiveSpec
+from repro.x86.instruction import Instruction, UNUSED, is_unused
+from repro.x86.operands import Imm, Mem, Operand, Reg
+from repro.x86.program import Program
+from repro.x86.registers import lookup
+
+PassFn = Callable[[Program, LiveSpec], Iterator[Program]]
+
+#: Registry order is the default application order: structural deletion
+#: first (the big wins), then identity deletion, then operand-level
+#: simplification, then canonicalization (which typically *enables*
+#: another round of deletion — the driver sweeps to a fixed point).
+DEFAULT_PASSES = ("delete", "identity", "constant", "mask", "canonical")
+
+_PASSES: dict[str, PassFn] = {}
+
+
+def register_pass(name: str, fn: PassFn, *,
+                  replace: bool = False) -> None:
+    """Register a shrink pass under a spec key.
+
+    Custom passes must honor the pass contract: deterministic candidate
+    order, and no candidate the driver could accept without strictly
+    decreasing :func:`program_measure`.
+    """
+    if not replace and name in _PASSES:
+        raise RegistryError(f"minimize pass {name!r} is already "
+                            "registered (pass replace=True to override)")
+    _PASSES[name] = fn
+
+
+def available_passes() -> list[str]:
+    return sorted(_PASSES)
+
+
+def get_pass(name: str) -> PassFn:
+    try:
+        return _PASSES[name]
+    except KeyError:
+        raise RegistryError(
+            unknown_name_message("minimize pass", name,
+                                 _PASSES)) from None
+
+
+# -- the measure --------------------------------------------------------------
+
+def imm_complexity(value: int) -> int:
+    """Syntactic complexity of an immediate: 1 for {0, 1, -1}, 2 for
+    powers of two and contiguous low masks (2^k - 1), 3 otherwise."""
+    if value in (0, 1, -1):
+        return 1
+    if value > 0 and value & (value - 1) == 0:
+        return 2
+    if value > 0 and value & (value + 1) == 0:
+        return 2
+    return 3
+
+
+def operand_complexity(op: Operand) -> int:
+    """Syntactic complexity of one operand.
+
+    A memory operand always outweighs any register or immediate, so
+    store-to-load forwarding (Mem -> Reg/Imm) is a strict decrease; a
+    register outweighs only the trivial immediates, so constant
+    propagation is accepted only toward {0, 1, -1}.
+    """
+    if isinstance(op, Imm):
+        return imm_complexity(op.value)
+    if isinstance(op, Mem):
+        extra = 2 if op.index is not None else 0
+        extra += 1 if op.disp else 0
+        return 8 + extra
+    return 2                              # Reg, Label
+
+
+def instruction_measure(instr: Instruction) -> int:
+    """Per-instruction weight; dominated by instruction *count* so any
+    deletion beats any operand simplification."""
+    return 32 + sum(operand_complexity(op) for op in instr.operands)
+
+
+def program_measure(prog: Program) -> int:
+    """The strictly decreasing measure every accepted shrink must lower."""
+    return sum(instruction_measure(instr) for instr in prog.code
+               if not is_unused(instr))
+
+
+# -- shared helpers -----------------------------------------------------------
+
+def _with_operand(program: Program, index: int, position: int,
+                  op: Operand) -> Program | None:
+    """``program`` with one operand swapped, or None if the mnemonic
+    rejects the new operand kind/width."""
+    instr = program.code[index]
+    operands = list(instr.operands)
+    operands[position] = op
+    try:
+        replacement = Instruction(instr.opcode, tuple(operands))
+    except OperandTypeError:
+        return None
+    return program.replace(index, replacement)
+
+
+def _real_indices(program: Program) -> Iterator[tuple[int, Instruction]]:
+    for index, instr in enumerate(program.code):
+        if not is_unused(instr):
+            yield index, instr
+
+
+# -- the passes ---------------------------------------------------------------
+
+def delete_pass(program: Program, spec: LiveSpec) -> Iterator[Program]:
+    """Instruction deletion: the DCE liveness result first (one
+    candidate that may drop several instructions at once), then each
+    real instruction individually — liveness is conservative around
+    flags and memory, so per-slot deletion catches what it keeps."""
+    swept = eliminate_dead_code(program, spec)
+    if program_measure(swept) < program_measure(program):
+        yield swept
+    for index, _instr in _real_indices(program):
+        yield program.replace(index, UNUSED)
+
+
+# two-operand families for which an immediate-zero source is the
+# identity on the destination *value* (flag effects are the validator's
+# problem — a proposal is only accepted if the flags are provably dead)
+_ZERO_IDENTITY = frozenset(
+    ("add", "sub", "or", "xor", "shl", "shr", "sar", "rol", "ror"))
+
+
+def _is_identity(instr: Instruction) -> bool:
+    family = instr.opcode.family
+    ops = instr.operands
+    if len(ops) != 2:
+        return False
+    src, dst = ops
+    if family == "mov" and isinstance(src, Reg) and src == dst:
+        return True
+    if not isinstance(src, Imm):
+        return False
+    if family in _ZERO_IDENTITY and src.masked(instr.opcode.width) == 0:
+        return True
+    if family == "imul" and src.value == 1:
+        return True
+    width = instr.opcode.width
+    if family == "and" and src.masked(width) == (1 << width) - 1:
+        return True
+    return False
+
+
+def identity_pass(program: Program, spec: LiveSpec) -> Iterator[Program]:
+    """Delete no-ops the value lattice can see: ``mov r, r``,
+    ``add/sub/or/xor/shifts $0``, ``imul $1``, ``and $-1``."""
+    del spec
+    for index, instr in _real_indices(program):
+        if _is_identity(instr):
+            yield program.replace(index, UNUSED)
+
+
+def constant_pass(program: Program, spec: LiveSpec) -> Iterator[Program]:
+    """Replace immediates with strictly simpler ones (0, 1, -1)."""
+    del spec
+    for index, instr in _real_indices(program):
+        if instr.opcode.is_jump:
+            continue
+        for position, op in enumerate(instr.operands):
+            if not isinstance(op, Imm):
+                continue
+            current = imm_complexity(op.value)
+            for value in (0, 1, -1):
+                if value == op.value or imm_complexity(value) >= current:
+                    continue
+                candidate = _with_operand(program, index, position,
+                                          Imm(value))
+                if candidate is not None:
+                    yield candidate
+
+
+def mask_pass(program: Program, spec: LiveSpec) -> Iterator[Program]:
+    """Canonicalize ``and`` masks: propose covering contiguous masks
+    (2^k - 1) and the all-ones mask when strictly simpler. The all-ones
+    form is the identity pass's food — together they delete masks whose
+    input bits are already confined."""
+    del spec
+    for index, instr in _real_indices(program):
+        if instr.opcode.family != "and":
+            continue
+        for position, op in enumerate(instr.operands):
+            if not isinstance(op, Imm):
+                continue
+            width = instr.opcode.width
+            value = op.masked(width)
+            current = imm_complexity(op.value)
+            candidates = [-1]
+            candidates.extend((1 << k) - 1 for k in (8, 16, 32)
+                              if k < width)
+            for proposal in candidates:
+                masked = Imm(proposal).masked(width)
+                if masked == value or value & masked != value:
+                    continue              # not a covering mask
+                if imm_complexity(proposal) >= current:
+                    continue
+                candidate = _with_operand(program, index, position,
+                                          Imm(proposal))
+                if candidate is not None:
+                    yield candidate
+
+
+def _may_alias(a: Mem, a_bytes: int, b: Mem, b_bytes: int) -> bool:
+    """Conservative: disjoint only when provable from matching bases."""
+    if a.base is None or b.base is None:
+        return True
+    if a.base.full != b.base.full:
+        return True
+    if (a.index is None) != (b.index is None):
+        return True
+    if a.index is not None and b.index is not None and \
+            (a.index.full != b.index.full or a.scale != b.scale):
+        return True
+    return not (a.disp + a_bytes <= b.disp or
+                b.disp + b_bytes <= a.disp)
+
+
+def canonical_pass(program: Program, spec: LiveSpec) -> Iterator[Program]:
+    """Operand canonicalization: store-to-load forwarding and constant
+    propagation.
+
+    A linear scan tracks ``mov`` stores (memory slot -> last stored
+    source) and ``mov $imm, reg`` constants, killing facts when their
+    registers are redefined or their memory may be clobbered. Loads
+    from a tracked slot propose the stored register/immediate in place
+    of the memory operand; register reads of a tracked trivial constant
+    propose the immediate. Both strictly decrease the measure, and the
+    forwarded store usually dies to the delete pass next sweep.
+    """
+    del spec
+    stores: dict[Mem, tuple[Operand, int]] = {}
+    constants: dict[str, int] = {}        # register view name -> value
+    for index, instr in _real_indices(program):
+        signature = instr.signature
+        mem = instr.mem_operand
+        # -- proposals against the state *before* this instruction
+        if mem is not None and mem in stores:
+            source, width = stores[mem]
+            for position, (op, slot) in enumerate(
+                    zip(instr.operands, signature)):
+                if op is not mem or "w" in slot.access:
+                    continue
+                if width != instr.opcode.width:
+                    continue
+                candidate = _with_operand(program, index, position,
+                                          source)
+                if candidate is not None:
+                    yield candidate
+        for position, (op, slot) in enumerate(
+                zip(instr.operands, signature)):
+            if not isinstance(op, Reg) or "r" not in slot.access \
+                    or "w" in slot.access:
+                continue
+            value = constants.get(op.reg.name)
+            if value is None or imm_complexity(value) > 1:
+                continue                  # only {0,1,-1} beat a register
+            candidate = _with_operand(program, index, position,
+                                      Imm(value))
+            if candidate is not None:
+                yield candidate
+        # -- state update
+        if instr.writes_memory:
+            store_mem = instr.mem_operand
+            nbytes = instr.opcode.width // 8
+            if store_mem is not None:
+                for other in list(stores):
+                    if _may_alias(other, stores[other][1] // 8,
+                                  store_mem, nbytes):
+                        del stores[other]
+            else:
+                stores.clear()            # push etc.: unknown slot
+        written = {reg.full for reg in instr.regs_written}
+        if written:
+            constants = {name: value
+                         for name, value in constants.items()
+                         if lookup(name).full not in written}
+            stores = {
+                slot_mem: (source, width)
+                for slot_mem, (source, width) in stores.items()
+                if not (isinstance(source, Reg) and
+                        source.reg.full in written)
+                and not any(reg.full in written
+                            for reg in slot_mem.registers())}
+        if instr.opcode.family == "mov" and len(instr.operands) == 2:
+            source, dest = instr.operands
+            if isinstance(dest, Mem) and not isinstance(source, Mem):
+                forwarded: Operand = source
+                if isinstance(source, Reg):
+                    value = constants.get(source.reg.name)
+                    if value is not None:
+                        forwarded = Imm(value)
+                stores[dest] = (forwarded, instr.opcode.width)
+            elif isinstance(dest, Reg) and isinstance(source, Imm):
+                constants[dest.reg.name] = source.value
+
+
+register_pass("delete", delete_pass)
+register_pass("identity", identity_pass)
+register_pass("constant", constant_pass)
+register_pass("mask", mask_pass)
+register_pass("canonical", canonical_pass)

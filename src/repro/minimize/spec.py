@@ -1,0 +1,62 @@
+"""MinimizeSpec: pass selection by name — flag and manifest form.
+
+The grammar is a comma-separated pass list, validated against the
+registry at parse time so a typo fails at the flag::
+
+    default                      the full registry-order pipeline
+    delete,identity              only those passes, in that order
+    delete,canonical,delete      repetition is allowed (order matters
+                                 per sweep; the driver reaches a fixed
+                                 point either way)
+
+Like budgets and cost specs, the canonical :meth:`spec_string` is a
+resume *fingerprint*: the checkpoint manifest (v6) freezes the minimize
+policy, so a resumed campaign cannot silently shrink under different
+passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RegistryError
+from repro.minimize.passes import DEFAULT_PASSES, get_pass
+
+MINIMIZE_OFF = "off"
+"""The manifest form of 'no minimization'."""
+
+
+@dataclass(frozen=True)
+class MinimizeSpec:
+    """A pass pipeline by name.
+
+    Attributes:
+        passes: pass registry keys, applied in order each sweep.
+    """
+
+    passes: tuple[str, ...] = DEFAULT_PASSES
+
+    def __post_init__(self) -> None:
+        if not self.passes:
+            raise RegistryError(
+                "minimize spec needs at least one pass")
+        for name in self.passes:
+            get_pass(name)                # raises on unknown names
+
+    @classmethod
+    def parse(cls, text: "str | MinimizeSpec | None") -> "MinimizeSpec":
+        """Parse ``"default"`` or a comma-separated pass list."""
+        if text is None:
+            return cls()
+        if isinstance(text, MinimizeSpec):
+            return text
+        text = text.strip()
+        if text in ("", "default"):
+            return cls()
+        names = tuple(name.strip() for name in text.split(",")
+                      if name.strip())
+        return cls(passes=names)
+
+    def spec_string(self) -> str:
+        """The canonical flag/manifest form."""
+        return ",".join(self.passes)

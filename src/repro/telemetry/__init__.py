@@ -19,6 +19,8 @@ See ``docs/TELEMETRY.md`` for the schema and usage.
 
 from repro.telemetry.chain import ChainTelemetry
 from repro.telemetry.journal import (METRICS_VERSION, MetricsLog,
+                                     RECORD_CAMPAIGN, RECORD_CHAIN,
+                                     RECORD_MINIMIZE,
                                      deterministic_document,
                                      iter_metrics, metrics_document,
                                      read_metrics)
@@ -28,7 +30,9 @@ from repro.telemetry.report import (discover_run_dirs, load_document,
                                     render_report, sparkline)
 
 __all__ = ["ChainTelemetry", "Counter", "Gauge", "Histogram",
-           "METRICS_VERSION", "MetricsLog", "Series", "TelemetryError",
-           "deterministic_document", "discover_run_dirs",
-           "iter_metrics", "load_document", "metrics_document",
-           "read_metrics", "render_report", "safe_rate", "sparkline"]
+           "METRICS_VERSION", "MetricsLog", "RECORD_CAMPAIGN",
+           "RECORD_CHAIN", "RECORD_MINIMIZE", "Series",
+           "TelemetryError", "deterministic_document",
+           "discover_run_dirs", "iter_metrics", "load_document",
+           "metrics_document", "read_metrics", "render_report",
+           "safe_rate", "sparkline"]

@@ -3,20 +3,24 @@
 Telemetry follows the same journaling discipline as the job journal
 and the event stream: append-only JSONL, one flushed+fsynced record
 per line, versioned records (``"v"``), a torn trailing line dropped
-and healed on resume. Two record shapes share the file::
+and healed on resume. Three record shapes share the file::
 
     {"v": 1, "record": "chain", "kernel": ..., "job_id": ...,
      "telemetry": {<ChainTelemetry wire form>}}
     {"v": 1, "record": "campaign", "kernel": ...,
      "telemetry": {<merged deterministic wire form>},
      "runtime": {seconds, grant latencies, occupancy timeline}}
+    {"v": 1, "record": "minimize", "kernel": ...,
+     "telemetry": {<MinimizeResult.to_json() wire form>}}
 
 One ``chain`` record lands the moment a chain job completes (so an
 in-progress run is reportable live); the single ``campaign`` record
-lands at finalization with the plan-order merge of every chain. A
-resumed run re-opens the journal in append mode, and records are
-deduplicated by (kernel, job_id) so chains satisfied from the job
-journal are backfilled exactly once.
+lands at finalization with the plan-order merge of every chain; the
+single ``minimize`` record lands when the kernel's winning rewrite is
+shrunk (``repro minimize``, ``Session(minimize=...)``). A resumed run
+re-opens the journal in append mode, and records are deduplicated by
+(kernel, job_id) so chains satisfied from the job journal are
+backfilled exactly once.
 
 :func:`metrics_document` folds the records into the one merged
 document ``repro engine report --json`` emits. Its ``runtime``
@@ -41,9 +45,11 @@ METRICS_VERSION = 1
 
 RECORD_CHAIN = "chain"
 RECORD_CAMPAIGN = "campaign"
+RECORD_MINIMIZE = "minimize"
 
-#: The (kernel-level) key a campaign record dedups under.
+#: The (kernel-level) keys campaign/minimize records dedup under.
 _CAMPAIGN_KEY = "@campaign"
+_MINIMIZE_KEY = "@minimize"
 
 
 def _require(record: Json, fields: tuple[str, ...],
@@ -60,7 +66,8 @@ def _validate(record: Json) -> Json:
         raise TelemetryError(
             f"metrics record version {record['v']!r} is not "
             f"{METRICS_VERSION}; refusing to misread the journal")
-    if record["record"] not in (RECORD_CHAIN, RECORD_CAMPAIGN):
+    if record["record"] not in (RECORD_CHAIN, RECORD_CAMPAIGN,
+                                RECORD_MINIMIZE):
         raise TelemetryError(
             f"unknown metrics record kind {record['record']!r}")
     if record["record"] == RECORD_CHAIN:
@@ -117,6 +124,8 @@ class MetricsLog:
 
     @staticmethod
     def _key(record: Json) -> tuple[str, str]:
+        if record["record"] == RECORD_MINIMIZE:
+            return (record["kernel"], _MINIMIZE_KEY)
         return (record["kernel"],
                 record.get("job_id", _CAMPAIGN_KEY))
 
@@ -135,6 +144,12 @@ class MetricsLog:
                              "record": RECORD_CAMPAIGN,
                              "kernel": kernel, "telemetry": telemetry,
                              "runtime": runtime})
+
+    def record_minimize(self, kernel: str, telemetry: Json) -> bool:
+        """Journal the winner-shrink summary; False if already there."""
+        return self._append({"v": METRICS_VERSION,
+                             "record": RECORD_MINIMIZE,
+                             "kernel": kernel, "telemetry": telemetry})
 
     def _append(self, record: Json) -> bool:
         key = self._key(record)
@@ -159,6 +174,7 @@ def metrics_document(records: list[Json]) -> Json | None:
     """
     chains: dict[str, Json] = {}
     campaign: Json | None = None
+    minimize: Json | None = None
     runtime: Json = {}
     kernel = None
     for record in records:
@@ -170,6 +186,8 @@ def metrics_document(records: list[Json]) -> Json | None:
                 f"{record['kernel']!r}; run directories are per-kernel")
         if record["record"] == RECORD_CHAIN:
             chains[record["job_id"]] = record["telemetry"]
+        elif record["record"] == RECORD_MINIMIZE:
+            minimize = record["telemetry"]
         else:
             campaign = record["telemetry"]
             runtime = dict(record.get("runtime", {}))
@@ -183,7 +201,8 @@ def metrics_document(records: list[Json]) -> Json | None:
         campaign = merged.deterministic_json()
     return {"v": METRICS_VERSION, "kernel": kernel,
             "complete": complete, "chains": chains,
-            "campaign": campaign, "runtime": runtime}
+            "campaign": campaign, "minimize": minimize,
+            "runtime": runtime}
 
 
 def deterministic_document(document: Json) -> Json:
@@ -196,8 +215,13 @@ def deterministic_document(document: Json) -> Json:
         job_id: {key: value for key, value in telemetry.items()
                  if key != "runtime"}
         for job_id, telemetry in document["chains"].items()}
+    minimize = document.get("minimize")
+    if minimize is not None:
+        minimize = {key: value for key, value in minimize.items()
+                    if key != "runtime"}
     return {"v": document["v"], "kernel": document["kernel"],
             "complete": document["complete"], "chains": chains,
             "campaign": {key: value
                          for key, value in document["campaign"].items()
-                         if key != "runtime"}}
+                         if key != "runtime"},
+            "minimize": minimize}

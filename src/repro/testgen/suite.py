@@ -1,0 +1,56 @@
+"""Suite maintenance: input-keyed deduplication for growing suites.
+
+A testcase's expected outputs are a deterministic function of its
+inputs (they are recorded by running the target), so two testcases with
+the same inputs are the same observation — appending both only slows
+every later cost evaluation. The CEGIS loop appends repeatedly (every
+refuted candidate contributes a counterexample, and the same
+distinguishing input recurs across candidates and runs), so every
+appending surface dedups by the input key defined here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.testgen.testcase import Testcase
+
+InputKey = tuple[tuple[tuple[str, int], ...], tuple[tuple[int, int], ...]]
+
+
+def input_key(testcase: Testcase) -> InputKey:
+    """The identity of a testcase: its inputs (registers + memory)."""
+    return (testcase.input_regs, testcase.input_memory)
+
+
+def dedup_testcases(testcases: Iterable[Testcase]) -> list[Testcase]:
+    """Order-preserving dedup by input key (first occurrence wins)."""
+    seen: set[InputKey] = set()
+    unique: list[Testcase] = []
+    for testcase in testcases:
+        key = input_key(testcase)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(testcase)
+    return unique
+
+
+def append_unique(suite: list[Testcase],
+                  new: Iterable[Testcase]) -> list[Testcase]:
+    """Append testcases whose inputs the suite does not already hold.
+
+    Mutates ``suite`` in place and returns the testcases actually
+    appended (in input order), so callers can persist or count exactly
+    the novel observations.
+    """
+    seen = {input_key(testcase) for testcase in suite}
+    appended: list[Testcase] = []
+    for testcase in new:
+        key = input_key(testcase)
+        if key in seen:
+            continue
+        seen.add(key)
+        suite.append(testcase)
+        appended.append(testcase)
+    return appended

@@ -15,14 +15,19 @@ The budget is an env knob so CI can wire the suite in cheaply::
 
     REPRO_FUZZ_PROGRAMS=120 pytest tests/emulator/test_compile_fuzz.py
 
-Any failure prints the offending program, so a refuted property lands
-as a reproducible counterexample, not a flake.
+Any failure is shrunk first (:func:`repro.minimize.shrink_failing`
+against the divergence predicate), so a refuted property lands as a
+*minimal* reproducible counterexample — in the assertion message, and,
+when ``REPRO_FUZZ_ARTIFACTS`` names a directory, as an ``.s`` file CI
+can upload.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import random
+from pathlib import Path
 
 import pytest
 
@@ -32,6 +37,8 @@ from repro.cost.function import CostFunction, Phase
 from repro.emulator.compile import compile_program
 from repro.emulator.cpu import Emulator
 from repro.emulator.state import MachineState
+from repro.errors import EmulationError
+from repro.minimize import shrink_failing
 from repro.search.config import SearchConfig
 from repro.search.moves import MoveGenerator
 from repro.suite.registry import benchmark
@@ -63,15 +70,51 @@ def _snapshot(state: MachineState) -> tuple:
              state.events.undef))
 
 
-def _assert_bit_identical(prog, testcase) -> None:
+def _divergence(prog, testcase) -> str | None:
+    """The failure predicate: why compiled and reference disagree on
+    this program + testcase, or None when they are bit-identical."""
     reference = testcase.initial_state()
     Emulator(reference, testcase.sandbox()).run(prog)
     pooled = testcase.reset_into(MachineState())
     compile_program(prog).run(pooled, testcase.sandbox())
-    assert _snapshot(reference) == _snapshot(pooled), str(prog)
+    if _snapshot(reference) != _snapshot(pooled):
+        return "machine state diverged"
     weights = CostWeights()
-    assert eq_cost(reference, testcase, weights) == \
-        eq_cost(pooled, testcase, weights), str(prog)
+    if eq_cost(reference, testcase, weights) != \
+            eq_cost(pooled, testcase, weights):
+        return "testcase cost diverged"
+    return None
+
+
+def _save_artifact(kernel, program, reason) -> str | None:
+    """Drop the minimal repro where CI collects artifacts, if asked."""
+    directory = os.environ.get("REPRO_FUZZ_ARTIFACTS")
+    if not directory:
+        return None
+    text = str(program)
+    digest = hashlib.sha1(text.encode()).hexdigest()[:12]
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    repro = path / f"fuzz_{kernel}_{digest}.s"
+    repro.write_text(f"# {reason}\n{text}\n")
+    return str(repro)
+
+
+def _assert_bit_identical(kernel, prog, testcase) -> None:
+    reason = _divergence(prog, testcase)
+    if reason is None:
+        return
+
+    def still_fails(candidate) -> bool:
+        try:
+            return _divergence(candidate, testcase) is not None
+        except EmulationError:
+            return False          # a different bug is a different repro
+
+    minimal = shrink_failing(prog.compact(), still_fails)
+    saved = _save_artifact(kernel, minimal, reason)
+    where = f" (saved to {saved})" if saved else ""
+    pytest.fail(f"{kernel}: {reason}; minimal repro{where}:\n{minimal}")
 
 
 def _fuzz_programs(bench, count, seed):
@@ -96,7 +139,7 @@ def test_generated_programs_bit_identical(kernel):
     testcases = _testcases(bench)
     for prog in _fuzz_programs(bench, PER_KERNEL, seed=20260727):
         for testcase in testcases:
-            _assert_bit_identical(prog, testcase)
+            _assert_bit_identical(kernel, prog, testcase)
 
 
 @pytest.mark.parametrize("kernel", ("p12", "saxpy"))
@@ -131,6 +174,40 @@ def test_pooled_state_reuse_after_undo(kernel):
     again = compiled_fn.evaluate(first)
     assert again.value == first_value, \
         "pooled-state reuse leaked between candidates"
+
+
+def test_failure_path_shrinks_and_saves_a_minimal_repro(
+        tmp_path, monkeypatch):
+    """If the property ever breaks, the harness must hand back a
+    *minimal* failing program — in the assertion message and as an
+    ``.s`` artifact — not the raw move-generator noise."""
+    from repro.x86.parser import parse_program
+    bench = benchmark("p01")
+    testcase = _testcases(bench)[0]
+    noisy = parse_program("""
+        movq rdi, rax
+        addq 7, rax
+        movq rax, rcx
+        xorq rcx, rdx
+    """)
+
+    def synthetic_divergence(candidate, _testcase):
+        families = {instr.opcode.family for instr in candidate.code}
+        return "machine state diverged" if "add" in families else None
+
+    monkeypatch.setitem(globals(), "_divergence", synthetic_divergence)
+    monkeypatch.setenv("REPRO_FUZZ_ARTIFACTS", str(tmp_path))
+    with pytest.raises(pytest.fail.Exception) as failure:
+        _assert_bit_identical("p01", noisy, testcase)
+    message = str(failure.value)
+    assert "minimal repro" in message
+    # the repro is the one offending instruction, immediate simplified
+    artifacts = list(tmp_path.glob("fuzz_p01_*.s"))
+    assert len(artifacts) == 1
+    lines = artifacts[0].read_text().splitlines()
+    assert lines[0].startswith("# machine state diverged")
+    assert [line.strip() for line in lines[1:]] == ["addq 0, rax"]
+    assert str(artifacts[0]) in message
 
 
 def test_fuzz_seeds_are_deterministic():

@@ -9,8 +9,9 @@ worker count.
 import pytest
 
 from repro.engine.budget import (BudgetSpec, FixedRule, PlateauRule,
-                                 StableRule, WallclockRule,
-                                 available_budgets, register_budget)
+                                 StableRule, ValidationsRule,
+                                 WallclockRule, available_budgets,
+                                 register_budget)
 from repro.engine.campaign import Campaign, EngineOptions
 from repro.errors import RegistryError
 from repro.search.config import SearchConfig
@@ -84,6 +85,15 @@ def test_wallclock_spec_round_trips():
     assert BudgetSpec.parse("wallclock").secs == 1800.0
 
 
+def test_validations_spec_round_trips():
+    spec = BudgetSpec.parse("validations:n=12")
+    assert spec.kind == "validations" and spec.n == 12
+    assert spec.spec_string() == "validations:n=12"
+    assert BudgetSpec.parse(spec.spec_string()) == spec
+    assert isinstance(spec.rule(), ValidationsRule)
+    assert BudgetSpec.parse("validations").n == 64
+
+
 def test_parse_accepts_spec_instances():
     spec = BudgetSpec(kind="adaptive", stable=4)
     assert BudgetSpec.parse(spec) is spec
@@ -102,6 +112,10 @@ def test_parse_accepts_spec_instances():
     "wallclock:secs=0",            # deadline must be positive
     "wallclock:secs=-5",           # ... and not negative
     "wallclock:stable=2",          # stable belongs elsewhere
+    "validations:n=0",             # cap must be at least one query
+    "validations:n=zero",          # non-integer parameter
+    "validations:secs=9",          # secs belongs to wallclock
+    "adaptive:n=3",                # n belongs to validations
 ])
 def test_bad_specs_fail_at_the_flag(text):
     with pytest.raises(RegistryError):
@@ -201,6 +215,22 @@ def test_wallclock_rule_denies_grants_past_the_deadline():
     assert rule.stop_reason == "deadline"
 
 
+def test_validations_rule_stops_at_the_cap():
+    rule = ValidationsRule(n=5)
+    assert rule.incremental and not rule.needs_ranking
+    assert rule.needs_validations
+    assert rule.grant(elapsed=0.0)
+    rule.charge(3)
+    assert rule.spent == 3 and not rule.should_stop()
+    rule.charge(2)
+    assert rule.spent == 5 and rule.should_stop()
+    assert not rule.grant(elapsed=0.0)
+    assert rule.stop_reason == "validations"
+    # ranking feedback never changes the verdict
+    rule.observe(("a", 1))
+    assert rule.stable_chains == 0
+
+
 # -- adaptive campaigns -------------------------------------------------------
 
 def test_adaptive_schedules_fewer_chains_with_equal_best():
@@ -242,3 +272,49 @@ def test_stoke_result_reports_chain_statistics():
     result = _run(EngineOptions(jobs=1))
     assert result.chains_scheduled == CONFIG.optimization_chains
     assert result.chains_saved == 0
+
+
+# -- validations campaigns ----------------------------------------------------
+
+def _total_validations(result):
+    return sum(r.validations
+               for r in result.synthesis + result.optimization)
+
+
+def test_validations_budget_stops_a_campaign_early():
+    fixed = _run(EngineOptions(jobs=1))
+    assert _total_validations(fixed) > 1      # the cap below can bind
+    capped = _run(EngineOptions(jobs=1, budget="validations:n=1"))
+    assert capped.chains_scheduled < fixed.chains_scheduled
+    assert capped.chains_saved == 6 - capped.chains_scheduled
+    # the cap gates grants, never a granted chain: the round that
+    # crossed it still completed, so spend may overshoot but the
+    # results are a plan-order prefix of the fixed run's
+    assert _total_validations(capped) >= 1
+    assert len(capped.optimization) < len(fixed.optimization)
+
+
+def test_validations_budget_is_deterministic_across_worker_counts():
+    serial = _run(EngineOptions(jobs=1, budget="validations:n=2"))
+    pooled = _run(EngineOptions(jobs=2, budget="validations:n=2"))
+    assert serial.chains_scheduled == pooled.chains_scheduled
+    assert _total_validations(serial) == _total_validations(pooled)
+    assert [(str(r.program), r.cost, r.cycles) for r in serial.ranked] \
+        == [(str(r.program), r.cost, r.cycles) for r in pooled.ranked]
+    assert str(serial.rewrite) == str(pooled.rewrite)
+
+
+def test_validations_resume_stops_at_the_same_chain(tmp_path):
+    """Journal-satisfied rounds must charge their validator spend
+    exactly once (the delta accounting), so a resumed campaign stops
+    at the same chain as the uninterrupted run."""
+    run_dir = tmp_path / "run"
+    options = EngineOptions(jobs=1, run_dir=run_dir,
+                            budget="validations:n=2")
+    full = _run(options)
+    resumed = _run(EngineOptions(jobs=1, run_dir=run_dir, resume=True,
+                                 budget="validations:n=2"))
+    assert resumed.chains_scheduled == full.chains_scheduled
+    assert _total_validations(resumed) == _total_validations(full)
+    assert [(str(r.program), r.cycles) for r in resumed.ranked] \
+        == [(str(r.program), r.cycles) for r in full.ranked]

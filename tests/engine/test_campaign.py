@@ -12,7 +12,7 @@ import pytest
 
 import repro.engine.worker as worker_module
 from repro.engine.campaign import Campaign, EngineOptions
-from repro.engine.checkpoint import CheckpointStore
+from repro.engine.checkpoint import MANIFEST_VERSION, CheckpointStore
 from repro.errors import EngineError
 from repro.search.config import SearchConfig
 from repro.suite.registry import benchmark
@@ -161,7 +161,7 @@ def test_manifest_freezes_testcases(tmp_path):
     _campaign(EngineOptions(jobs=1, run_dir=run_dir)).run()
     manifest = json.loads((run_dir / "manifest.json").read_text())
     assert len(manifest["testcases"]) == CONFIG.testcase_count
-    assert manifest["version"] == 5
+    assert manifest["version"] == MANIFEST_VERSION
     assert manifest["cost"] == "correctness,latency"
     assert manifest["strategy"] == "mcmc"
     assert manifest["budget"] == "fixed"
@@ -189,6 +189,6 @@ def test_resume_of_old_manifests_is_a_version_error(tmp_path):
         del manifest[dropped]
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(EngineError,
-                           match=f"version {version} is not 5"):
+                           match=f"version {version} is not {MANIFEST_VERSION}"):
             _campaign(EngineOptions(jobs=1, run_dir=run_dir,
                                     resume=True)).run()

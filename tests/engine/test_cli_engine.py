@@ -4,6 +4,7 @@ import json
 
 import repro.cli as cli
 from repro.api.session import Result
+from repro.engine.checkpoint import MANIFEST_VERSION
 from repro.search.stoke import StokeResult
 from repro.suite.runner import BenchmarkOutcome
 from repro.x86.parser import parse_program
@@ -145,7 +146,7 @@ def test_engine_campaign_interleave_matches_sequential(tmp_path,
         assert marker in int_lines[-1] and marker in seq_lines[-1]
 
 
-def test_engine_campaign_interleave_journals_v5_manifests(tmp_path):
+def test_engine_campaign_interleave_journals_current_manifests(tmp_path):
     code = cli.main(["engine", "campaign", "p01", "p03",
                      "--interleave", "--jobs", "2",
                      "--run-dir", str(tmp_path / "sweep")])
@@ -153,7 +154,7 @@ def test_engine_campaign_interleave_journals_v5_manifests(tmp_path):
     for kernel in ("p01", "p03"):
         manifest = json.loads(
             (tmp_path / "sweep" / kernel / "manifest.json").read_text())
-        assert manifest["version"] == 5
+        assert manifest["version"] == MANIFEST_VERSION
         assert manifest["interleave"] == "roundrobin"
         assert (tmp_path / "sweep" / kernel / "metrics.jsonl").exists()
 

@@ -1,0 +1,69 @@
+"""Failure-shrinking tests: smallest program, same bug.
+
+:func:`shrink_failing` preserves an arbitrary predicate instead of
+verified equivalence — these tests drive it with synthetic oracles to
+pin the contract the fuzzer relies on: the result still fails, is no
+larger, and is deterministic.
+"""
+
+from repro.minimize.fuzz import shrink_failing
+from repro.minimize.passes import program_measure
+from repro.x86.instruction import is_unused
+from repro.x86.operands import Imm
+from repro.x86.parser import parse_program
+
+NOISY = """
+    movq rdi, rax
+    imulq rsi, rax
+    addq 1, rax
+    movq rax, rcx
+    xorq rcx, rdx
+"""
+
+
+def _has_family(program, family):
+    return any(instr.opcode.family == family
+               for instr in program.code if not is_unused(instr))
+
+
+def test_shrink_keeps_only_what_the_predicate_needs():
+    program = parse_program(NOISY)
+    shrunk = shrink_failing(program,
+                            lambda p: _has_family(p, "imul"))
+    assert shrunk.instruction_count == 1
+    assert _has_family(shrunk, "imul")
+
+
+def test_shrink_is_deterministic_and_never_grows():
+    program = parse_program(NOISY)
+    def oracle(p):
+        return _has_family(p, "imul")
+    first = shrink_failing(program, oracle)
+    second = shrink_failing(program, oracle)
+    assert str(first) == str(second)
+    assert program_measure(first) <= program_measure(program)
+
+
+def test_shrink_simplifies_surviving_immediates():
+    """Deletion can't remove the immediate the predicate depends on,
+    so the constant pass shrinks it to a trivial one instead."""
+    program = parse_program("movq rdi, rax\naddq 7, rax")
+    shrunk = shrink_failing(
+        program,
+        lambda p: any(isinstance(op, Imm)
+                      for instr in p.code if not is_unused(instr)
+                      for op in instr.operands))
+    assert shrunk.instruction_count == 1
+    (instr,) = shrunk.code
+    assert isinstance(instr.operands[0], Imm)
+    assert instr.operands[0].value in (0, 1, -1)
+
+
+def test_shrink_preserves_a_multi_instruction_dependency():
+    """A predicate that needs two cooperating instructions keeps both."""
+    program = parse_program(NOISY)
+    shrunk = shrink_failing(
+        program,
+        lambda p: _has_family(p, "imul") and _has_family(p, "xor"))
+    assert shrunk.instruction_count == 2
+    assert _has_family(shrunk, "imul") and _has_family(shrunk, "xor")

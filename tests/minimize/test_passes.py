@@ -1,0 +1,162 @@
+"""Shrink-pass tests: the measure, the registry, and each pass's
+proposals on handcrafted programs.
+
+Passes only *propose* — the driver re-verifies — so these tests pin
+the two properties a pass must actually have: deterministic candidate
+order, and candidates that are plausible shrinks of the right shape.
+"""
+
+import pytest
+
+from repro.errors import RegistryError
+from repro.minimize.passes import (DEFAULT_PASSES, available_passes,
+                                   canonical_pass, constant_pass,
+                                   delete_pass, get_pass, identity_pass,
+                                   imm_complexity, instruction_measure,
+                                   mask_pass, operand_complexity,
+                                   program_measure, register_pass)
+from repro.verifier.validator import LiveSpec
+from repro.x86.operands import Imm, Mem, Reg
+from repro.x86.parser import parse_instruction, parse_program
+from repro.x86.registers import lookup
+
+SPEC = LiveSpec(live_in=("rdi", "rsi"), live_out=("rax",))
+
+
+# -- the measure --------------------------------------------------------------
+
+def test_imm_complexity_orders_trivial_power_arbitrary():
+    assert imm_complexity(0) == imm_complexity(1) == imm_complexity(-1) == 1
+    assert imm_complexity(2) == imm_complexity(1024) == 2
+    assert imm_complexity(7) == imm_complexity(0xFFFF) == 2     # 2^k - 1
+    assert imm_complexity(6) == imm_complexity(0xFF00) == 3
+
+
+def test_operand_complexity_memory_beats_register_beats_trivial_imm():
+    mem = Mem(base=lookup("rsp"), disp=-8)
+    reg = Reg(lookup("rax"))
+    assert operand_complexity(mem) > operand_complexity(reg)
+    assert operand_complexity(reg) > operand_complexity(Imm(0))
+    # ... but a register beats a non-trivial immediate: constant
+    # propagation is only a shrink toward {0, 1, -1}
+    assert operand_complexity(reg) < operand_complexity(Imm(6))
+
+
+def test_any_deletion_beats_any_operand_simplification():
+    """Instruction count dominates the measure: the heaviest single
+    instruction still outweighs any operand-level simplification."""
+    heavy = parse_instruction("movq rdi, -8(rsp)")
+    light = parse_instruction("movq 0, rax")
+    assert instruction_measure(light) > 0
+    two = parse_program("movq rdi, -8(rsp)\nmovq rdi, -8(rsp)")
+    one_heavy = parse_program("movq rdi, -8(rsp)")
+    assert program_measure(one_heavy) < program_measure(two)
+    assert instruction_measure(heavy) < 2 * instruction_measure(light)
+
+
+# -- the registry -------------------------------------------------------------
+
+def test_default_passes_are_all_registered():
+    assert set(DEFAULT_PASSES) <= set(available_passes())
+    for name in DEFAULT_PASSES:
+        assert callable(get_pass(name))
+
+
+def test_unknown_pass_name_raises_with_the_name():
+    with pytest.raises(RegistryError, match="minimize pass"):
+        get_pass("delte")
+
+
+def test_register_pass_rejects_silent_override():
+    def noop(program, spec):
+        return iter(())
+
+    register_pass("test-noop-pass", noop)
+    assert "test-noop-pass" in available_passes()
+    with pytest.raises(RegistryError, match="already"):
+        register_pass("test-noop-pass", noop)
+    register_pass("test-noop-pass", noop, replace=True)   # explicit OK
+
+
+# -- delete -------------------------------------------------------------------
+
+def test_delete_pass_proposes_dce_sweep_first_then_each_slot():
+    program = parse_program("movq rdi, rax\nmovq rsi, rbx")
+    candidates = list(delete_pass(program, SPEC))
+    # DCE sees the dead rbx write, then one candidate per real slot
+    assert len(candidates) == 3
+    assert program_measure(candidates[0]) < program_measure(program)
+    assert candidates[0].compact().instruction_count == 1
+    for candidate in candidates[1:]:
+        assert candidate.compact().instruction_count == 1
+
+
+# -- identity -----------------------------------------------------------------
+
+def test_identity_pass_deletes_value_level_noops():
+    program = parse_program("""
+        movq rax, rax
+        addq 0, rax
+        movq rdi, rax
+    """)
+    candidates = list(identity_pass(program, SPEC))
+    assert len(candidates) == 2               # the two no-ops, in order
+    assert all(c.compact().instruction_count == 2 for c in candidates)
+
+
+def test_identity_pass_keeps_real_work():
+    program = parse_program("addq 1, rax\nmovq rdi, rbx")
+    assert list(identity_pass(program, SPEC)) == []
+
+
+# -- constant -----------------------------------------------------------------
+
+def test_constant_pass_proposes_only_strictly_simpler_immediates():
+    program = parse_program("addq 7, rax")
+    proposals = [c.code[0].operands[0].value
+                 for c in constant_pass(program, SPEC)]
+    assert proposals == [0, 1, -1]
+    # a trivial immediate has nothing simpler to propose
+    assert list(constant_pass(parse_program("addq 0, rax"), SPEC)) == []
+
+
+# -- mask ---------------------------------------------------------------------
+
+def test_mask_pass_proposes_covering_contiguous_masks():
+    program = parse_program("andq 0xff00, rax")
+    proposals = [c.code[0].operands[0].value
+                 for c in mask_pass(program, SPEC)]
+    # -1 and the covering 2^k - 1 masks; 0xff does not cover 0xff00
+    assert -1 in proposals
+    assert 0xFFFF in proposals
+    assert 0xFF not in proposals
+    assert all(value & 0xFF00 == 0xFF00 or value == -1
+               for value in proposals)
+
+
+# -- canonical ----------------------------------------------------------------
+
+def test_canonical_pass_forwards_a_store_to_its_load():
+    program = parse_program("""
+        movq rdi, -8(rsp)
+        movq -8(rsp), rax
+    """)
+    candidates = list(canonical_pass(program, SPEC))
+    assert any(str(c.code[1]) == "movq rdi, rax" for c in candidates)
+
+
+def test_canonical_pass_propagates_trivial_constants():
+    program = parse_program("movq 1, rcx\naddq rcx, rax")
+    candidates = list(canonical_pass(program, SPEC))
+    assert any(str(c.code[1]) == "addq 1, rax" for c in candidates)
+
+
+def test_canonical_pass_kills_facts_on_redefinition():
+    program = parse_program("""
+        movq 1, rcx
+        movq rdi, rcx
+        addq rcx, rax
+    """)
+    # rcx was redefined: the stale constant must not be proposed
+    for candidate in canonical_pass(program, SPEC):
+        assert str(candidate.code[2]) != "addq 1, rax"
