@@ -60,6 +60,10 @@ class Result:
     interleave: str = "none"
     chains_scheduled: int = 0
     chains_saved: int = 0
+    #: Chain jobs abandoned after exhausting their retry budget, and
+    #: their ids — graceful degradation is reported, never silent.
+    chains_quarantined: int = 0
+    quarantined_jobs: list[str] = field(default_factory=list)
     #: Deterministic search-telemetry summary (merged over all chains);
     #: None when no chain carried telemetry.
     telemetry: dict[str, Any] | None = None
@@ -88,6 +92,8 @@ class Result:
             "interleave": self.interleave,
             "chains_scheduled": self.chains_scheduled,
             "chains_saved": self.chains_saved,
+            "chains_quarantined": self.chains_quarantined,
+            "quarantined_jobs": list(self.quarantined_jobs),
             "proposals_per_second": round(self.proposals_per_second, 1),
             "testcases_per_proposal":
                 round(self.testcases_per_proposal, 3),
@@ -244,6 +250,8 @@ class Session:
             interleave=campaign.options.interleave_policy,
             chains_scheduled=outcome.chains_scheduled,
             chains_saved=outcome.chains_saved,
+            chains_quarantined=outcome.chains_quarantined,
+            quarantined_jobs=list(outcome.quarantined_jobs),
             telemetry=telemetry,
             minimize=(None if minimized is None
                       else minimized.to_json()),

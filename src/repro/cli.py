@@ -112,6 +112,9 @@ def _engine_options(args: argparse.Namespace) -> EngineOptions:
                          interleave=getattr(args, "interleave", False),
                          minimize=getattr(args, "minimize", None),
                          harden=getattr(args, "harden", False),
+                         job_timeout=getattr(args, "job_timeout", None),
+                         retries=getattr(args, "retries", None),
+                         faults=getattr(args, "faults", None),
                          progress=_progress_listener(args))
 
 
@@ -272,6 +275,9 @@ def _cmd_engine_campaign(args: argparse.Namespace) -> int:
                              interleave=args.interleave,
                              minimize=args.minimize,
                              harden=args.harden,
+                             job_timeout=args.job_timeout,
+                             retries=args.retries,
+                             faults=args.faults,
                              progress=progress)
 
     if args.interleave:
@@ -299,13 +305,17 @@ def _cmd_engine_campaign(args: argparse.Namespace) -> int:
                 len(rows)) if rows else 0.0
     scheduled = sum(row.chains_scheduled for row in rows)
     saved = sum(row.chains_saved for row in rows)
+    quarantined = sum(row.chains_quarantined for row in rows)
+    # quarantined chains are graceful degradation, but never silent
+    tail = (f", {quarantined} quarantined" if quarantined else "")
     _emit_line(
         f"campaign done: {improved}/{len(rows)} kernels improved "
         f"(jobs={args.jobs}, budget={budget.spec_string()}, "
         f"{'interleaved, ' if args.interleave else ''}"
         f"{format_rate(mean_pps)} proposals/s, "
         f"{mean_tpp:.2f} testcases/proposal, "
-        f"{scheduled} chains scheduled, {saved} saved)", sys.stdout)
+        f"{scheduled} chains scheduled, {saved} saved{tail})",
+        sys.stdout)
     return 0
 
 
@@ -539,6 +549,21 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="seed base testcases from the run directory's persistent "
              "counterexample suite and persist new counterexamples "
              "back (requires --run-dir)")
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt job deadline; a job whose result has not "
+             "arrived in time is re-granted with capped exponential "
+             "backoff (default: no deadline)")
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="re-grants allowed per job after its first attempt "
+             "before the job is quarantined (default: 3)")
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject deterministic executor faults for testing: "
+             "faults:seed=S,crash=P,dup=P,stall=P,corrupt=P "
+             "(probabilities per attempt; stall>0 requires "
+             "--job-timeout)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -548,8 +573,12 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:      # e.g. `repro list | head`
         return 0
     except ReproError as exc:    # bad flags, unknown names, ...
+        # subsystem errors carry distinct exit codes (see errors.py):
+        # 2 usage/config, 3 worker crash, 4 job timeout, 5 stale
+        # grant, 6 corrupt payload — so a supervisor can tell a
+        # crashed worker from a corrupt run dir without parsing stderr
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return exc.exit_code
 
 
 if __name__ == "__main__":

@@ -88,6 +88,22 @@ class EngineOptions:
             chains discover back — the cross-run CEGIS flywheel.
             Requires ``run_dir``; frozen in the manifest like
             ``minimize``.
+        job_timeout: per-attempt deadline in seconds (``--job-timeout``);
+            a job whose result has not arrived by its deadline is
+            re-granted (capped exponential backoff per attempt). None
+            disables deadlines — a crashed worker still retries, but a
+            silently stalled one would wait forever.
+        retries: re-grants allowed per job after its first attempt
+            (``--retries``); a job failing ``retries + 1`` attempts is
+            quarantined and the campaign degrades gracefully. Frozen in
+            the checkpoint manifest (v7) with ``job_timeout`` as the
+            retry-policy fingerprint.
+        faults: deterministic fault injection (``--faults``) — a
+            :class:`~repro.engine.faults.FaultPlan`, its spec string
+            (``faults:seed=S,crash=P,dup=P,stall=P,corrupt=P``), or
+            None for a fault-free run. Injection wraps the executor
+            only; it is test machinery, not resume state, so it is
+            deliberately *not* part of the manifest fingerprint.
         progress: optional live listener for campaign progress events;
             also streamed to ``<run_dir>/events.jsonl`` when
             checkpointing.
@@ -100,6 +116,9 @@ class EngineOptions:
     interleave: bool = False
     minimize: "MinimizeSpec | str | bool | None" = None
     harden: bool = False
+    job_timeout: float | None = None
+    retries: int | None = None
+    faults: "FaultPlan | str | None" = None
     progress: ProgressListener | None = None
 
     def __post_init__(self) -> None:
@@ -120,6 +139,22 @@ class EngineOptions:
         elif minimize is not None:
             minimize = MinimizeSpec.parse(minimize)
         object.__setattr__(self, "minimize", minimize)
+        from repro.engine.faults import FaultPlan, RetryPolicy
+        retries = (RetryPolicy().retries if self.retries is None
+                   else self.retries)
+        # construct eagerly so bad knobs fail at options time, and
+        # keep the normalized policy via the retry_policy property
+        policy = RetryPolicy(retries=retries,
+                             job_timeout=self.job_timeout)
+        object.__setattr__(self, "retries", policy.retries)
+        object.__setattr__(self, "job_timeout", policy.job_timeout)
+        faults = FaultPlan.parse(self.faults)
+        if faults is not None and faults.stall > 0 \
+                and self.job_timeout is None:
+            raise EngineError(
+                "a fault plan with stall > 0 requires a job timeout; "
+                "only a deadline can recover a stalled worker")
+        object.__setattr__(self, "faults", faults)
 
     @property
     def interleave_policy(self) -> str:
@@ -134,6 +169,14 @@ class EngineOptions:
         if self.minimize is None:
             return MINIMIZE_OFF
         return self.minimize.spec_string()
+
+    @property
+    def retry_policy(self) -> "RetryPolicy":
+        """The normalized retry policy (``--retries``/``--job-timeout``)."""
+        from repro.engine.faults import RetryPolicy
+        assert self.retries is not None     # normalized in post-init
+        return RetryPolicy(retries=self.retries,
+                           job_timeout=self.job_timeout)
 
 
 class Campaign:
@@ -187,6 +230,7 @@ class Campaign:
             "interleave": self.options.interleave_policy,
             "minimize": self.options.minimize_policy,
             "harden": self.options.harden,
+            "retry": self.options.retry_policy.spec_string(),
         }
 
     def _initial_state(self, store: CheckpointStore | None) \
@@ -207,7 +251,15 @@ class Campaign:
             manifest = store.load_manifest(self._fingerprint())
             testcases = [serialize.testcase_from_json(tc)
                          for tc in manifest["testcases"]]
-            return testcases, store.completed()
+            # a structurally damaged journal record (bit rot that
+            # still parses as JSON) is dropped here, so the resumed
+            # campaign simply re-runs that job instead of crashing
+            # the decoder mid-aggregation
+            from repro.engine.jobs import payload_problem
+            completed = {job_id: payload for job_id, payload
+                         in store.completed().items()
+                         if payload_problem(payload) is None}
+            return testcases, completed
         generator = TestcaseGenerator(self.target, self.spec,
                                       self.annotations,
                                       seed=self.config.seed)

@@ -44,7 +44,7 @@ Manifest versions (any mismatch rejects the resume):
   is diagnostic, not resume state — but a v4 journal's payloads cannot
   supply telemetry for journal-satisfied chains on resume, so the
   version gate keeps resumed runs' metrics documents complete.
-* **v6** (this PR): adds ``minimize`` and ``harden`` — the rewrite
+* **v6** (PR 7): adds ``minimize`` and ``harden`` — the rewrite
   minimization policy (``off`` or a comma-separated pass list) and the
   CEGIS hardening flag. Minimization changes the reported rewrite and
   hardening changes the frozen base testcases, so both are fingerprint
@@ -55,6 +55,14 @@ Manifest versions (any mismatch rejects the resume):
   — counterexamples accumulate across fresh runs (the flywheel), while
   the manifest records exactly which of them this run's base suite
   absorbed.
+* **v7** (this PR): adds ``retry`` — the retry policy's spec string
+  (``retries=N,timeout=S``). The policy decides which chains get
+  quarantined after repeated failures, so resuming under a different
+  policy would re-decide the campaign's membership; it is frozen like
+  the budget. v7 run directories also journal *recovery decisions* in
+  ``recovery.jsonl`` — one record per retry/requeue/quarantine — which
+  a resume replays so quarantined chains stay quarantined and the
+  recovery counters survive the interrupt.
 
 A run directory may also hold ``events.jsonl``, the campaign progress
 stream (:mod:`repro.engine.events`), and ``metrics.jsonl``, the search
@@ -71,11 +79,11 @@ from pathlib import Path
 from repro.engine.serialize import Json, read_jsonl, require_fields
 from repro.errors import EngineError
 
-MANIFEST_VERSION = 6
+MANIFEST_VERSION = 7
 
 _FINGERPRINT_FIELDS = ("target", "spec", "annotations", "config",
                        "cost", "strategy", "budget", "interleave",
-                       "minimize", "harden")
+                       "minimize", "harden", "retry")
 
 
 class CheckpointStore:
@@ -87,6 +95,7 @@ class CheckpointStore:
         self.journal_path = self.run_dir / "jobs.jsonl"
         self.grants_path = self.run_dir / "grants.jsonl"
         self.metrics_path = self.run_dir / "metrics.jsonl"
+        self.recovery_path = self.run_dir / "recovery.jsonl"
 
     def has_manifest(self) -> bool:
         return self.manifest_path.exists()
@@ -104,6 +113,7 @@ class CheckpointStore:
         self.journal_path.write_text("")
         self.grants_path.write_text("")
         self.metrics_path.write_text("")
+        self.recovery_path.write_text("")
 
     def load_manifest(self, expected_fingerprint: Json) -> Json:
         """Load and cross-check the manifest against this campaign.
@@ -148,6 +158,16 @@ class CheckpointStore:
             journal.flush()
             os.fsync(journal.fileno())
 
+    def record_recovery(self, payload: Json) -> None:
+        """Append one recovery decision (retry/requeue/quarantine),
+        durably — quarantines especially must survive an interrupt, or
+        a resume would hammer a poisoned chain all over again."""
+        line = json.dumps(payload, sort_keys=True)
+        with self.recovery_path.open("a") as journal:
+            journal.write(line + "\n")
+            journal.flush()
+            os.fsync(journal.fileno())
+
     def _healed_records(self, path: Path, what: str) -> list[Json]:
         """Read an append-only journal, truncating a torn tail.
 
@@ -175,6 +195,11 @@ class CheckpointStore:
     def grants(self) -> list[Json]:
         """Journaled grant decisions, in decision order."""
         return self._healed_records(self.grants_path, "grants journal")
+
+    def recovery(self) -> list[Json]:
+        """Journaled recovery decisions, in decision order."""
+        return self._healed_records(self.recovery_path,
+                                    "recovery journal")
 
     def completed(self) -> dict[str, Json]:
         """All journaled results, keyed by job id.

@@ -19,18 +19,30 @@ Event types, in the order a campaign emits them::
     campaign-started    budget spec, worker count, planned chains
     kernel-granted      one grant decision: a wave of chain jobs was
                         admitted to (or denied) the shared pool
+    job-retried         a failed/corrupt attempt was re-granted
+    job-requeued        a stalled (or interrupt-lost) job was
+                        re-granted after missing its deadline
+    job-quarantined     a job exhausted its retries and was removed
+                        from the campaign (graceful degradation)
     chain-completed     one chain job finished (id, kind, counts)
     ranking-updated     running best ranking after a completed chain
     kernel-stopped      no more chains will be scheduled (reason)
     campaign-finished   final verdict (verified, cycles, speedup,
                         per-kernel chain counts and pool occupancy)
 
-Stream version 2 (this PR) added ``kernel-granted`` — the journal of
+Stream version 2 (PR 5) added ``kernel-granted`` — the journal of
 the scheduler's grant decisions, which is what makes a ``wallclock``
 budget replayable: the decisions, not the clock, are what a resumed
 campaign re-reads — and extended ``campaign-finished`` with the
 per-kernel ``chains_scheduled`` / ``chains_saved`` / ``occupancy``
 fields a cross-kernel sweep reports.
+
+Stream version 3 (this PR) adds the three recovery events
+(``job-retried`` / ``job-requeued`` / ``job-quarantined``): every
+decision the fault-recovery layer takes is visible in the stream, so a
+follower can tell a slow campaign from one fighting worker failures,
+and ``campaign-finished`` gains ``chains_quarantined`` when any chain
+was abandoned.
 
 Like the checkpoint journal, the file is append-only, flushed per
 record, and a torn trailing line (the interrupt case) is dropped on
@@ -48,16 +60,20 @@ from typing import Callable
 from repro.engine.serialize import Json, iter_jsonl, require_fields
 from repro.errors import EngineError
 
-EVENT_STREAM_VERSION = 2
+EVENT_STREAM_VERSION = 3
 
 CAMPAIGN_STARTED = "campaign-started"
 KERNEL_GRANTED = "kernel-granted"
+JOB_RETRIED = "job-retried"
+JOB_REQUEUED = "job-requeued"
+JOB_QUARANTINED = "job-quarantined"
 CHAIN_COMPLETED = "chain-completed"
 RANKING_UPDATED = "ranking-updated"
 KERNEL_STOPPED = "kernel-stopped"
 CAMPAIGN_FINISHED = "campaign-finished"
 
 EVENT_TYPES = frozenset({CAMPAIGN_STARTED, KERNEL_GRANTED,
+                         JOB_RETRIED, JOB_REQUEUED, JOB_QUARANTINED,
                          CHAIN_COMPLETED, RANKING_UPDATED,
                          KERNEL_STOPPED, CAMPAIGN_FINISHED})
 
@@ -120,6 +136,16 @@ def format_event(event: ProgressEvent) -> str:
                 else f"{data.get('wave')} wave")
         return (f"[{event.kernel}] {what} {verdict} "
                 f"({data.get('reason')}, {data.get('jobs')} jobs)")
+    if event.event in (JOB_RETRIED, JOB_REQUEUED):
+        verb = ("retried" if event.event == JOB_RETRIED
+                else "requeued")
+        return (f"[{event.kernel}] job {data.get('job_id')} {verb} "
+                f"(attempt {data.get('attempt')}: "
+                f"{data.get('reason')})")
+    if event.event == JOB_QUARANTINED:
+        return (f"[{event.kernel}] job {data.get('job_id')} "
+                f"quarantined after {data.get('attempt')} attempts "
+                f"({data.get('reason')})")
     if event.event == CHAIN_COMPLETED:
         return (f"[{event.kernel}] chain {data.get('job_id')} done "
                 f"({data.get('verified')} verified, "

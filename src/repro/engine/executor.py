@@ -28,7 +28,8 @@ from repro.engine import worker
 from repro.engine.jobs import ChainJob, job_from_json, job_to_json
 from repro.engine.serialize import Json
 from repro.engine.worker import CampaignContext
-from repro.errors import EngineError
+from repro.errors import (EngineError, JobTimeoutError, ReproError,
+                          WorkerCrashError)
 
 
 class SerialExecutor:
@@ -45,7 +46,10 @@ class SerialExecutor:
             added += 1
         return added
 
-    def next_result(self) -> tuple[str, Json]:
+    def next_result(self, timeout: float | None = None) \
+            -> tuple[str, Json]:
+        # serial jobs run synchronously, so a deadline cannot fire
+        # mid-job; the timeout parameter exists for protocol parity
         if not self._queue:
             raise EngineError("next_result with no submitted jobs")
         kernel, job = self._queue.popleft()
@@ -73,7 +77,20 @@ def _run_job_in_process(task: tuple[str, Json]) -> tuple[str, Json]:
     assert _PROCESS_CONTEXTS is not None, "pool initializer did not run"
     kernel, job_json = task
     context = _PROCESS_CONTEXTS[kernel]
-    return kernel, worker.run_chain_job(context, job_from_json(job_json))
+    try:
+        return kernel, worker.run_chain_job(context,
+                                            job_from_json(job_json))
+    except ReproError:
+        # configuration/validation failures are deterministic — a
+        # retry would fail identically, so they stay loud
+        raise
+    except Exception as exc:
+        # anything else is treated as the worker dying mid-chain;
+        # naming the job makes the failure retryable upstream
+        raise WorkerCrashError(
+            f"worker failed running {job_json['job_id']}: "
+            f"{type(exc).__name__}: {exc}",
+            kernel=kernel, job_id=job_json["job_id"]) from exc
 
 
 class ProcessPoolExecutor:
@@ -126,29 +143,39 @@ class ProcessPoolExecutor:
         self._outstanding += added
         return added
 
-    def next_result(self) -> tuple[str, Json]:
+    def next_result(self, timeout: float | None = None) \
+            -> tuple[str, Json]:
         if self._outstanding < 1:
             raise EngineError("next_result with no submitted jobs")
-        item = self._results.get()
+        try:
+            item = self._results.get(timeout=timeout)
+        except queue.Empty:
+            raise JobTimeoutError(
+                f"no job result within {timeout:g}s") from None
         self._outstanding -= 1
         if isinstance(item, BaseException):
             raise item
         return item
 
+    # Both shutdown paths are idempotent — ``_pool`` is cleared before
+    # join returns control, so a second close()/terminate() (or a
+    # terminate after close, the KeyboardInterrupt-during-shutdown
+    # case) is a no-op instead of an AttributeError.
+
     def close(self) -> None:
         """Graceful shutdown: lets in-flight jobs finish."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+            pool.join()
 
     def terminate(self) -> None:
         """Abandon in-flight jobs (error/interrupt shutdown); anything
         already journaled survives for a later --resume."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
 
 
 Executor = SerialExecutor | ProcessPoolExecutor

@@ -96,6 +96,27 @@ _RESULT_FIELDS = ("job_id", "kind", "verified", "candidates", "chain",
                   "validations", "new_testcases")
 
 
+def payload_problem(payload: Json) -> str | None:
+    """Why a result payload is structurally unusable, or None if fine.
+
+    This is the corruption gate the recovery layer applies before a
+    payload can complete a job: a damaged payload (a fault-injected
+    one, or a torn/bit-rotted journal record that still parsed as
+    JSON) is detected here and the job retried, instead of crashing
+    the decoder mid-aggregation.
+    """
+    if not isinstance(payload, dict):
+        return f"payload is {type(payload).__name__}, not an object"
+    missing = [name for name in _RESULT_FIELDS if name not in payload]
+    if missing:
+        return f"payload missing fields: {', '.join(missing)}"
+    if not isinstance(payload["job_id"], str) or not payload["job_id"]:
+        return "payload job_id is not a non-empty string"
+    if payload["kind"] not in (SYNTHESIS, OPTIMIZATION):
+        return f"payload kind {payload['kind']!r} is not a job kind"
+    return None
+
+
 def result_to_json(result: JobResult) -> Json:
     return {
         "job_id": result.job_id,

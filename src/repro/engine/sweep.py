@@ -44,13 +44,18 @@ from repro.engine import aggregator, scheduler
 from repro.engine.checkpoint import CheckpointStore
 from repro.engine.events import (CAMPAIGN_FINISHED, CAMPAIGN_STARTED,
                                  CHAIN_COMPLETED, EventLog,
-                                 KERNEL_GRANTED, KERNEL_STOPPED,
-                                 RANKING_UPDATED)
+                                 JOB_QUARANTINED, JOB_REQUEUED,
+                                 JOB_RETRIED, KERNEL_GRANTED,
+                                 KERNEL_STOPPED, RANKING_UPDATED)
 from repro.engine.executor import make_executor
-from repro.engine.jobs import ChainJob, JobResult, result_from_json
+from repro.engine.faults import FaultInjectingExecutor
+from repro.engine.jobs import (ChainJob, JobResult, payload_problem,
+                               result_from_json)
 from repro.engine.serialize import Json
 from repro.engine.worker import CampaignContext
-from repro.errors import EngineError
+from repro.errors import (CorruptPayloadError, EngineError,
+                          JobTimeoutError, StaleGrantError,
+                          WorkerCrashError)
 from repro.perfsim.model import actual_runtime
 from repro.search.stoke import StokeResult
 from repro.telemetry import ChainTelemetry, MetricsLog
@@ -66,6 +71,10 @@ _SYNTHESIS = "synthesis"
 _OPTIMIZATION = "optimization"
 
 GRANT_SCHEDULED = "scheduled"
+
+RECOVERY_RETRIED = "retried"
+RECOVERY_REQUEUED = "requeued"
+RECOVERY_QUARANTINED = "quarantined"
 
 
 class KernelSchedule:
@@ -122,6 +131,22 @@ class KernelSchedule:
         self._replay: deque[Json] = deque(
             self.store.grants()
             if self.store is not None and options.resume else ())
+        # recovery state: quarantines are campaign membership (a
+        # resume must not hammer a poisoned chain again), so they
+        # replay from recovery.jsonl; counters are diagnostics for
+        # the metrics document's runtime section
+        self.recovery_counts: dict[str, int] = {
+            RECOVERY_RETRIED: 0, RECOVERY_REQUEUED: 0,
+            RECOVERY_QUARANTINED: 0, "duplicates": 0, "stale": 0}
+        self._quarantined: dict[str, str] = {}
+        if self.store is not None and options.resume:
+            for record in self.store.recovery():
+                action = record.get("action")
+                if action in self.recovery_counts:
+                    self.recovery_counts[action] += 1
+                if action == RECOVERY_QUARANTINED:
+                    self._quarantined[record["job_id"]] = \
+                        record.get("kind", "")
         # phase state
         self._phase = _SYNTHESIS
         self._synth_plan = scheduler.synthesis_jobs(config)
@@ -194,6 +219,59 @@ class KernelSchedule:
             self.cex_suite.append(
                 self._result_for(job_id).new_testcases)
 
+    # -- recovery -------------------------------------------------------------
+
+    def _note_recovery(self, action: str, event_type: str,
+                       job: ChainJob, attempt: int,
+                       reason: str) -> None:
+        if self.store is not None:
+            self.store.record_recovery({
+                "action": action, "job_id": job.job_id,
+                "kind": job.kind, "attempt": attempt,
+                "reason": reason})
+        self.recovery_counts[action] += 1
+        self.events.emit(event_type, self.name, job_id=job.job_id,
+                         kind=job.kind, attempt=attempt, reason=reason)
+
+    def note_retry(self, job: ChainJob, attempt: int,
+                   reason: str) -> None:
+        """Journal one re-grant of a failed or corrupt attempt."""
+        self._note_recovery(RECOVERY_RETRIED, JOB_RETRIED, job,
+                            attempt, reason)
+
+    def note_requeue(self, job: ChainJob, attempt: int,
+                     reason: str) -> None:
+        """Journal one re-grant of a stalled (deadline-expired) job."""
+        self._note_recovery(RECOVERY_REQUEUED, JOB_REQUEUED, job,
+                            attempt, reason)
+
+    def quarantine(self, job: ChainJob, attempt: int,
+                   reason: str) -> None:
+        """Abandon a job that exhausted its retries.
+
+        The campaign degrades gracefully: the job leaves the in-flight
+        set (so the schedule can progress), contributes an empty
+        result to the aggregate, and is reported — never silently
+        dropped — in ``StokeResult.quarantined_jobs``.
+        """
+        self._note_recovery(RECOVERY_QUARANTINED, JOB_QUARANTINED,
+                            job, attempt, reason)
+        self._quarantined[job.job_id] = job.kind
+        self._in_flight.discard(job.job_id)
+        self._granted_at.pop(job.job_id, None)
+        self._sample_occupancy()
+
+    def note_duplicate(self, job_id: str) -> None:
+        """Count one duplicate completion (first-wins dedup kept the
+        journaled result; the copy is dropped)."""
+        self.recovery_counts["duplicates"] += 1
+
+    def note_stale(self, job_id: str) -> None:
+        """Count one completion for a job this run no longer tracks
+        (a re-granted job's original worker reporting after its
+        replacement already finished, or after a quarantine)."""
+        self.recovery_counts["stale"] += 1
+
     def next_grant(self, elapsed: float) -> list[ChainJob] | None:
         """The next wave of jobs to submit, or None.
 
@@ -240,7 +318,8 @@ class KernelSchedule:
                          chain=chain, granted=True, reason=reason,
                          jobs=len(jobs))
         pending = [job for job in jobs
-                   if job.job_id not in self.completed]
+                   if job.job_id not in self.completed
+                   and job.job_id not in self._quarantined]
         self._in_flight.update(job.job_id for job in pending)
         now = self.clock()
         for job in pending:
@@ -262,7 +341,13 @@ class KernelSchedule:
         walk would make observation quadratic in chains."""
         result = self._decoded.get(job_id)
         if result is None:
-            result = result_from_json(self.completed[job_id])
+            if job_id in self._quarantined:
+                # an abandoned chain contributes an empty result: the
+                # aggregate is computed over the survivors
+                result = JobResult(job_id=job_id,
+                                   kind=self._quarantined[job_id])
+            else:
+                result = result_from_json(self.completed[job_id])
             self._decoded[job_id] = result
         return result
 
@@ -389,6 +474,18 @@ class KernelSchedule:
     def _finalize(self, reason: str) -> None:
         campaign = self.campaign
         config = campaign.config
+        # stale-grant rejection: every journaled result must belong to
+        # a job this campaign actually planned — a foreign record (a
+        # hand-mixed journal, or results from a differently-budgeted
+        # run) must abort rather than silently join the aggregate
+        plan_ids = {job.job_id for job in
+                    list(self._synth_plan) + list(self._opt_plan)}
+        foreign = sorted(set(self.completed) - plan_ids)
+        if foreign:
+            raise StaleGrantError(
+                f"run directory holds results for jobs this campaign "
+                f"never planned: {', '.join(foreign[:5])}"
+                + ("..." if len(foreign) > 5 else ""))
         chains_scheduled = (config.synthesis_chains +
                             self._granted_chains)
         chains_saved = self.chains_planned - chains_scheduled
@@ -432,16 +529,20 @@ class KernelSchedule:
             optimization_seconds=now - self._opt_start_time,
             chains_scheduled=chains_scheduled,
             chains_saved=chains_saved,
+            chains_quarantined=len(self._quarantined),
+            quarantined_jobs=sorted(self._quarantined),
         )
         occupancy = (round(chains_scheduled / self.chains_planned, 4)
                      if self.chains_planned else 0.0)
-        self.events.emit(CAMPAIGN_FINISHED, self.name,
-                         verified=result.verified,
-                         rewrite_cycles=result.rewrite_cycles,
-                         speedup=round(result.speedup, 4),
-                         chains_scheduled=chains_scheduled,
-                         chains_saved=chains_saved,
-                         occupancy=occupancy)
+        finished: Json = dict(verified=result.verified,
+                              rewrite_cycles=result.rewrite_cycles,
+                              speedup=round(result.speedup, 4),
+                              chains_scheduled=chains_scheduled,
+                              chains_saved=chains_saved,
+                              occupancy=occupancy)
+        if self._quarantined:
+            finished["chains_quarantined"] = len(self._quarantined)
+        self.events.emit(CAMPAIGN_FINISHED, self.name, **finished)
         if self.metrics is not None:
             self._journal_campaign_metrics(result.seconds)
         self._result = result
@@ -474,9 +575,27 @@ class KernelSchedule:
                 "max": self._latency_max,
             },
             "occupancy": self._occupancy.to_json(),
+            # recovery counters ride in the runtime section: how hard
+            # the run fought worker failures is a property of this
+            # execution, not of the (deterministic) search
+            "recovery": dict(self.recovery_counts),
         }
         self.metrics.record_campaign(
             self.name, merged.deterministic_json(), runtime)
+
+
+class _InFlight:
+    """Driver-side state of one granted job: who wants it, which
+    attempt is running, and when to give up waiting for it."""
+
+    __slots__ = ("kernel", "job", "attempt", "deadline")
+
+    def __init__(self, kernel: str, job: ChainJob, attempt: int,
+                 deadline: float | None) -> None:
+        self.kernel = kernel
+        self.job = job
+        self.attempt = attempt
+        self.deadline = deadline
 
 
 def run_campaigns(campaigns: list[Campaign], *,
@@ -491,6 +610,18 @@ def run_campaigns(campaigns: list[Campaign], *,
     instead of serializing behind them. Results return in input
     order; every campaign must share one worker count, and kernel
     names must be unique (they key the shared pool's contexts).
+
+    The driver is also the recovery layer: every granted job carries
+    a per-attempt deadline (``--job-timeout``, capped exponential
+    backoff), a crashed or corrupt attempt is re-granted up to
+    ``--retries`` times before quarantine, duplicate completions are
+    deduplicated first-wins by job id, and every decision is
+    journaled (``recovery.jsonl``) and streamed (``job-retried`` /
+    ``job-requeued`` / ``job-quarantined``). Because chain jobs are
+    deterministic functions of their (context, job) pair, a retried
+    attempt reproduces the lost payload exactly — a campaign that
+    survives injected faults ranks bit-identically to a fault-free
+    run.
     """
     if not campaigns:
         return []
@@ -499,6 +630,18 @@ def run_campaigns(campaigns: list[Campaign], *,
         if campaign.options.jobs != jobs:
             raise EngineError(
                 "all campaigns in one sweep must share a worker count")
+    policy = campaigns[0].options.retry_policy
+    for campaign in campaigns:
+        if campaign.options.retry_policy != policy:
+            # the deadline/retry discipline is pool-global: one shared
+            # next_result() wait cannot honor two different timeouts
+            raise EngineError(
+                "all campaigns in one sweep must share a retry policy")
+    faults = campaigns[0].options.faults
+    for campaign in campaigns:
+        if campaign.options.faults != faults:
+            raise EngineError(
+                "all campaigns in one sweep must share a fault plan")
     if len(campaigns) > 1 and not all(c.options.interleave
                                       for c in campaigns):
         # a multi-kernel sweep IS the round-robin scheduler; running
@@ -527,8 +670,38 @@ def run_campaigns(campaigns: list[Campaign], *,
     executor = make_executor(
         {schedule.name: schedule.context for schedule in schedules},
         jobs)
+    if faults is not None and faults.active:
+        executor = FaultInjectingExecutor(executor, faults)
     start = clock()
-    outstanding = 0
+    # job ids are kernel-agnostic (every kernel has an opt-c000-s000),
+    # so in-flight state is keyed by (kernel, job id)
+    tracked: dict[tuple[str, str], _InFlight] = {}
+
+    def admit(kernel: str, wave: list[ChainJob]) -> None:
+        now = clock()
+        for job in wave:
+            tracked[kernel, job.job_id] = _InFlight(
+                kernel, job, 0, policy.deadline(now, 0))
+        executor.submit(kernel, wave)
+
+    def fail_attempt(key: tuple[str, str], reason: str, *,
+                     requeue: bool) -> None:
+        """Retry (or quarantine) one failed/expired attempt."""
+        flight = tracked[key]
+        schedule = by_name[flight.kernel]
+        attempts = flight.attempt + 1       # attempts made so far
+        if attempts > policy.retries:
+            del tracked[key]
+            schedule.quarantine(flight.job, attempts, reason)
+            return
+        if requeue:
+            schedule.note_requeue(flight.job, attempts, reason)
+        else:
+            schedule.note_retry(flight.job, attempts, reason)
+        flight.attempt = attempts
+        flight.deadline = policy.deadline(clock(), attempts)
+        executor.submit(flight.kernel, [flight.job])
+
     try:
         for schedule in schedules:
             schedule.start()
@@ -539,20 +712,69 @@ def run_campaigns(campaigns: list[Campaign], *,
                 for schedule in schedules:       # fair-share rotation
                     pending = schedule.next_grant(clock() - start)
                     if pending:
-                        outstanding += executor.submit(schedule.name,
-                                                       pending)
+                        admit(schedule.name, pending)
                         progressed = True
             if all(schedule.done for schedule in schedules):
                 break
-            if outstanding < 1:
+            if not tracked:
                 raise EngineError("campaign scheduler stalled with "
                                   "no jobs in flight")
-            kernel, payload = executor.next_result()
-            outstanding -= 1
-            by_name[kernel].complete(payload)
+            timeout = None
+            if policy.job_timeout is not None:
+                nearest = min(flight.deadline
+                              for flight in tracked.values())
+                timeout = max(0.0, nearest - clock())
+            try:
+                kernel, payload = executor.next_result(timeout=timeout)
+            except JobTimeoutError:
+                # a stalled worker never deadlocks the wait: whichever
+                # jobs are past their deadline are re-granted, and a
+                # spurious wake simply recomputes the next deadline
+                now = clock()
+                overdue = [key for key, flight in tracked.items()
+                           if flight.deadline is not None
+                           and flight.deadline <= now]
+                for key in overdue:
+                    fail_attempt(key, "deadline expired",
+                                 requeue=True)
+                continue
+            except WorkerCrashError as exc:
+                key = (exc.kernel, exc.job_id)
+                if exc.job_id is None or key not in tracked:
+                    raise          # pool-level failure: unrecoverable
+                fail_attempt(key, str(exc), requeue=False)
+                continue
+            job_id = (payload.get("job_id")
+                      if isinstance(payload, dict) else None)
+            key = (kernel, job_id)
+            problem = payload_problem(payload)
+            if problem is not None:
+                if isinstance(job_id, str) and key in tracked:
+                    fail_attempt(key, f"corrupt payload: {problem}",
+                                 requeue=False)
+                    continue
+                raise CorruptPayloadError(
+                    f"unrecoverable corrupt payload from {kernel}: "
+                    f"{problem}", kernel=kernel,
+                    job_id=job_id if isinstance(job_id, str) else None)
+            schedule = by_name[kernel]
+            if key in tracked:
+                del tracked[key]
+                schedule.complete(payload)
+            elif job_id in schedule.completed:
+                # duplicate completion: first-wins — the journaled
+                # result stands, the copy is counted and dropped
+                schedule.note_duplicate(job_id)
+            else:
+                # a completion for a job this run no longer tracks
+                # (re-granted elsewhere, or quarantined): never let it
+                # poison the aggregate
+                schedule.note_stale(job_id)
     except BaseException:
         # don't block an error or Ctrl-C on queued chains; the
-        # journal already holds everything worth keeping
+        # journal already holds everything worth keeping (every
+        # event/metric/recovery record is flushed as it is written,
+        # and terminate() is idempotent even mid-shutdown)
         executor.terminate()
         raise
     else:

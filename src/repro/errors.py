@@ -11,7 +11,17 @@ from typing import Iterable
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``exit_code`` is what the CLI returns when the error reaches
+    :func:`repro.cli.main` — 2 for ordinary usage/configuration
+    failures, with the executor-path failure modes carrying distinct
+    codes so a supervisor restarting ``repro engine campaign`` can tell
+    a crashed worker from a corrupt run directory without parsing
+    stderr.
+    """
+
+    exit_code = 2
 
 
 class AsmSyntaxError(ReproError):
@@ -75,6 +85,71 @@ class SearchError(ReproError):
 
 class EngineError(ReproError):
     """Raised for invalid campaign configurations or corrupt run state."""
+
+
+class WorkerCrashError(EngineError):
+    """Raised when a worker process dies (or its job raises) mid-chain.
+
+    Carries the failed job's identity when it is known, so the
+    recovery layer can re-grant exactly that chain; a crash with no
+    job context (a pool-level failure) is unrecoverable and propagates
+    to the CLI with exit code 3.
+    """
+
+    exit_code = 3
+
+    def __init__(self, message: str, *, kernel: str | None = None,
+                 job_id: str | None = None) -> None:
+        self.kernel = kernel
+        self.job_id = job_id
+        super().__init__(message)
+
+    def __reduce__(self):
+        # exceptions pickle as (cls, args) by default, which would drop
+        # the job context on the worker -> scheduler hop; ship it as
+        # state so a crash stays retryable across the process boundary
+        return (type(self), (self.args[0] if self.args else "",),
+                {"kernel": self.kernel, "job_id": self.job_id})
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+
+class JobTimeoutError(EngineError):
+    """Raised when no job result arrives within the per-job deadline.
+
+    The recovery layer treats this as a *signal*, not a failure: it
+    re-grants whichever in-flight jobs are past their deadline (the
+    stalled-worker case) and keeps waiting for the rest. It only
+    reaches the CLI (exit code 4) when raised outside a recovery loop.
+    """
+
+    exit_code = 4
+
+
+class StaleGrantError(EngineError):
+    """Raised when a run directory holds results for jobs this
+    campaign never planned — a foreign or stale journal that a resume
+    must reject rather than silently aggregate (exit code 5)."""
+
+    exit_code = 5
+
+
+class CorruptPayloadError(EngineError):
+    """Raised when a job result payload fails structural validation.
+
+    Recoverable when the payload still names its job (the chain is
+    deterministic, so a retry re-produces the lost result); fatal with
+    exit code 6 when corruption reaches the CLI.
+    """
+
+    exit_code = 6
+
+    def __init__(self, message: str, *, kernel: str | None = None,
+                 job_id: str | None = None) -> None:
+        self.kernel = kernel
+        self.job_id = job_id
+        super().__init__(message)
 
 
 class MinimizeError(ReproError):

@@ -91,6 +91,7 @@ class BenchmarkOutcome:
     testcases_per_proposal: float = 0.0
     chains_scheduled: int = 0
     chains_saved: int = 0
+    chains_quarantined: int = 0
 
     def row(self) -> str:
         star = "*" if self.stoke_speedup > max(self.gcc_speedup,
@@ -154,6 +155,7 @@ def _outcome(bench: Benchmark, result: StokeResult) -> BenchmarkOutcome:
         testcases_per_proposal=result.testcases_per_proposal,
         chains_scheduled=result.chains_scheduled,
         chains_saved=result.chains_saved,
+        chains_quarantined=result.chains_quarantined,
     )
 
 

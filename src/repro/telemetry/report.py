@@ -157,6 +157,16 @@ def occupancy_lines(document: Json) -> list[str]:
             f"  grant→completion latency: mean "
             f"{latency['mean']:.3f}s, max {latency['max']:.3f}s over "
             f"{latency['count']} chains")
+    recovery = runtime.get("recovery", {})
+    if any(recovery.values()):
+        # only shown when the run actually fought failures; a clean
+        # run's report stays exactly as before
+        lines.append(
+            f"  recovery: {recovery.get('retried', 0)} retried, "
+            f"{recovery.get('requeued', 0)} requeued, "
+            f"{recovery.get('quarantined', 0)} quarantined, "
+            f"{recovery.get('duplicates', 0)} duplicates dropped, "
+            f"{recovery.get('stale', 0)} stale results ignored")
     if not lines:
         lines.append("  (no scheduler runtime recorded yet)")
     return lines

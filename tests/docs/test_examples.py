@@ -15,8 +15,9 @@ from pathlib import Path
 import pytest
 
 REPO = Path(__file__).resolve().parents[2]
-DOCUMENTS = ("README.md", "docs/ARCHITECTURE.md", "docs/MINIMIZE.md",
-             "docs/SPEC_GRAMMAR.md", "docs/TELEMETRY.md")
+DOCUMENTS = ("README.md", "docs/ARCHITECTURE.md", "docs/FAULTS.md",
+             "docs/MINIMIZE.md", "docs/SPEC_GRAMMAR.md",
+             "docs/TELEMETRY.md")
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
