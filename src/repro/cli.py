@@ -16,6 +16,9 @@ Usage::
     python -m repro.cli engine campaign --jobs 8 --run-dir runs/sweep
     python -m repro.cli engine campaign --jobs 8 --chains 8 \\
         --budget adaptive:stable=2 --progress
+    python -m repro.cli engine campaign p01 p03 --interleave \\
+        --workers 2 --job-timeout 30      # distributed (2 loopback workers)
+    python -m repro.cli engine worker --connect HOST:PORT  # join a campaign
     python -m repro.cli engine report runs/sweep     # run-dir analytics
     python -m repro.cli engine report runs/sweep/p01 --json
 
@@ -114,6 +117,7 @@ def _engine_options(args: argparse.Namespace) -> EngineOptions:
                          harden=getattr(args, "harden", False),
                          job_timeout=getattr(args, "job_timeout", None),
                          retries=getattr(args, "retries", None),
+                         workers=getattr(args, "workers", 0),
                          faults=getattr(args, "faults", None),
                          progress=_progress_listener(args))
 
@@ -277,6 +281,7 @@ def _cmd_engine_campaign(args: argparse.Namespace) -> int:
                              harden=args.harden,
                              job_timeout=args.job_timeout,
                              retries=args.retries,
+                             workers=args.workers,
                              faults=args.faults,
                              progress=progress)
 
@@ -316,6 +321,24 @@ def _cmd_engine_campaign(args: argparse.Namespace) -> int:
         f"{mean_tpp:.2f} testcases/proposal, "
         f"{scheduled} chains scheduled, {saved} saved{tail})",
         sys.stdout)
+    return 0
+
+
+def _cmd_engine_worker(args: argparse.Namespace) -> int:
+    """Join a running campaign's coordinator as one socket worker.
+
+    Runs granted chains until the coordinator says goodbye (exit 0).
+    Transport failures — an unreachable coordinator, a wire-version
+    mismatch, a frame torn mid-stream — exit 7
+    (:class:`~repro.errors.TransportError`); a worker refused at
+    hello is hung up on cleanly and also exits 0, having run nothing.
+    """
+    from repro.engine.remote import run_worker
+    from repro.engine.transport import parse_endpoint
+    host, port = parse_endpoint(args.connect)
+    completed = run_worker(host, port, heartbeat=args.heartbeat,
+                           max_jobs=args.max_jobs, name=args.name)
+    _emit_line(f"worker done: {completed} chains completed")
     return 0
 
 
@@ -476,6 +499,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(campaign)
     campaign.set_defaults(fn=_cmd_engine_campaign)
 
+    worker = engine_sub.add_parser(
+        "worker",
+        help="join a running campaign's coordinator over TCP")
+    worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the coordinator's address (printed by the campaign, or "
+             "chosen when constructing a RemoteExecutor)")
+    worker.add_argument(
+        "--heartbeat", type=float, default=5.0, metavar="SECONDS",
+        help="idle-liveness interval; while running a chain the "
+             "worker is silent (use --job-timeout on the campaign "
+             "side for job-level liveness)")
+    worker.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="leave after completing N chains (default: stay until "
+             "the coordinator says goodbye)")
+    worker.add_argument(
+        "--name", default=None,
+        help="worker label in events and per-worker telemetry "
+             "(default: pid-<pid>)")
+    worker.set_defaults(fn=_cmd_engine_worker)
+
     report = engine_sub.add_parser(
         "report",
         help="analyze a run directory's telemetry journals")
@@ -559,6 +604,12 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="re-grants allowed per job after its first attempt "
              "before the job is quarantined (default: 3)")
     parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run the campaign over a TCP coordinator with N loopback "
+             "worker subprocesses instead of the local pool (requires "
+             "--jobs 1; remote hosts can join with 'repro engine "
+             "worker'; results are bit-identical at any count)")
+    parser.add_argument(
         "--faults", default=None, metavar="SPEC",
         help="inject deterministic executor faults for testing: "
              "faults:seed=S,crash=P,dup=P,stall=P,corrupt=P "
@@ -575,8 +626,9 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:    # bad flags, unknown names, ...
         # subsystem errors carry distinct exit codes (see errors.py):
         # 2 usage/config, 3 worker crash, 4 job timeout, 5 stale
-        # grant, 6 corrupt payload — so a supervisor can tell a
-        # crashed worker from a corrupt run dir without parsing stderr
+        # grant, 6 corrupt payload, 7 transport — so a supervisor can
+        # tell a crashed worker from a corrupt run dir (or a network
+        # failure worth a --resume) without parsing stderr
         print(f"error: {exc}", file=sys.stderr)
         return exc.exit_code
 

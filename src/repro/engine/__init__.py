@@ -1,8 +1,9 @@
 """Parallel search engine: multi-process chain orchestration.
 
 Decomposes a search into independent chain jobs (scheduler — an
-incremental, one-chain-at-a-time source), runs them serially or across
-a process pool (executor/worker), merges chain outputs into one
+incremental, one-chain-at-a-time source), runs them serially, across
+a process pool, or over TCP worker connections
+(executor/worker/remote + transport), merges chain outputs into one
 deterministic verdict and running partial rankings (aggregator),
 journals completed jobs for checkpoint/resume (checkpoint), decides
 when a kernel has had enough chains (budget), and streams versioned
@@ -26,6 +27,7 @@ from repro.engine.executor import (ProcessPoolExecutor, SerialExecutor,
                                    make_executor)
 from repro.engine.jobs import (ChainJob, JobResult, OPTIMIZATION,
                                SYNTHESIS)
+from repro.engine.remote import RemoteExecutor, run_worker
 from repro.engine.scheduler import (interleave_rounds,
                                     optimization_jobs,
                                     optimization_rounds, synthesis_jobs)
@@ -35,11 +37,11 @@ from repro.engine.worker import CampaignContext, run_chain_job
 __all__ = ["BudgetSpec", "Campaign", "CampaignContext", "ChainJob",
            "CheckpointStore", "EngineOptions", "EventLog", "JobResult",
            "KernelSchedule", "OPTIMIZATION", "ProcessPoolExecutor",
-           "ProgressEvent", "SYNTHESIS", "SerialExecutor",
-           "StoppingRule", "available_budgets", "best_signature",
-           "dedup_programs", "final_ranking", "follow_events",
-           "format_event", "interleave_rounds", "iter_events",
-           "make_executor", "merge_testcases",
+           "ProgressEvent", "RemoteExecutor", "SYNTHESIS",
+           "SerialExecutor", "StoppingRule", "available_budgets",
+           "best_signature", "dedup_programs", "final_ranking",
+           "follow_events", "format_event", "interleave_rounds",
+           "iter_events", "make_executor", "merge_testcases",
            "optimization_jobs", "optimization_rounds", "read_events",
            "register_budget", "run_campaigns", "run_chain_job",
-           "synthesis_jobs", "synthesis_starts"]
+           "run_worker", "synthesis_jobs", "synthesis_starts"]

@@ -98,6 +98,15 @@ class EngineOptions:
             quarantined and the campaign degrades gracefully. Frozen in
             the checkpoint manifest (v7) with ``job_timeout`` as the
             retry-policy fingerprint.
+        workers: socket worker subprocesses to spawn (``--workers``);
+            0 keeps execution local. ``workers > 0`` replaces the
+            local pool (requires ``jobs=1``) with a TCP coordinator
+            (:class:`~repro.engine.remote.RemoteExecutor`) that
+            loopback workers — and any remote host pointed at its
+            address — join and leave mid-campaign. Results are
+            bit-identical at any worker count; the *transport*
+            (``local`` vs ``tcp:wire=N``) is frozen in the manifest
+            (v8), the count — like ``jobs`` — is not.
         faults: deterministic fault injection (``--faults``) — a
             :class:`~repro.engine.faults.FaultPlan`, its spec string
             (``faults:seed=S,crash=P,dup=P,stall=P,corrupt=P``), or
@@ -118,12 +127,19 @@ class EngineOptions:
     harden: bool = False
     job_timeout: float | None = None
     retries: int | None = None
+    workers: int = 0
     faults: "FaultPlan | str | None" = None
     progress: ProgressListener | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise EngineError("jobs must be at least 1")
+        if self.workers < 0:
+            raise EngineError("workers must be at least 0")
+        if self.workers > 0 and self.jobs != 1:
+            raise EngineError(
+                "--workers replaces the local pool; it cannot be "
+                "combined with --jobs > 1")
         if self.resume and self.run_dir is None:
             raise EngineError("--resume requires a run directory")
         if self.harden and self.run_dir is None:
@@ -178,6 +194,17 @@ class EngineOptions:
         return RetryPolicy(retries=self.retries,
                            job_timeout=self.job_timeout)
 
+    @property
+    def transport_policy(self) -> str:
+        """The manifest (v8) form of the execution transport.
+
+        ``local`` or ``tcp:wire=N`` — the frame vocabulary, not the
+        worker count, is what a resume must agree on (counts, like
+        ``jobs``, are invisible in results by construction).
+        """
+        from repro.engine.transport import transport_spec
+        return transport_spec(self.workers)
+
 
 class Campaign:
     """One orchestrated, resumable search campaign."""
@@ -231,6 +258,7 @@ class Campaign:
             "minimize": self.options.minimize_policy,
             "harden": self.options.harden,
             "retry": self.options.retry_policy.spec_string(),
+            "transport": self.options.transport_policy,
         }
 
     def _initial_state(self, store: CheckpointStore | None) \

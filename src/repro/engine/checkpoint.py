@@ -55,7 +55,7 @@ Manifest versions (any mismatch rejects the resume):
   — counterexamples accumulate across fresh runs (the flywheel), while
   the manifest records exactly which of them this run's base suite
   absorbed.
-* **v7** (this PR): adds ``retry`` — the retry policy's spec string
+* **v7** (PR 8): adds ``retry`` — the retry policy's spec string
   (``retries=N,timeout=S``). The policy decides which chains get
   quarantined after repeated failures, so resuming under a different
   policy would re-decide the campaign's membership; it is frozen like
@@ -63,6 +63,12 @@ Manifest versions (any mismatch rejects the resume):
   ``recovery.jsonl`` — one record per retry/requeue/quarantine — which
   a resume replays so quarantined chains stay quarantined and the
   recovery counters survive the interrupt.
+* **v8** (this PR): adds ``transport`` — the execution transport's
+  spec string (``local``, or ``tcp:wire=N`` for socket workers). The
+  *worker count* is deliberately not frozen (results are worker-count
+  invisible, exactly like ``jobs``); what a resume must agree on is
+  the frame vocabulary version, so a run cannot silently hop between
+  transports whose wire formats could diverge.
 
 A run directory may also hold ``events.jsonl``, the campaign progress
 stream (:mod:`repro.engine.events`), and ``metrics.jsonl``, the search
@@ -79,11 +85,11 @@ from pathlib import Path
 from repro.engine.serialize import Json, read_jsonl, require_fields
 from repro.errors import EngineError
 
-MANIFEST_VERSION = 7
+MANIFEST_VERSION = 8
 
 _FINGERPRINT_FIELDS = ("target", "spec", "annotations", "config",
                        "cost", "strategy", "budget", "interleave",
-                       "minimize", "harden", "retry")
+                       "minimize", "harden", "retry", "transport")
 
 
 class CheckpointStore:

@@ -24,6 +24,8 @@ Event types, in the order a campaign emits them::
                         re-granted after missing its deadline
     job-quarantined     a job exhausted its retries and was removed
                         from the campaign (graceful degradation)
+    worker-joined       a remote worker connected to the coordinator
+    worker-left         a remote worker disconnected (and why)
     chain-completed     one chain job finished (id, kind, counts)
     ranking-updated     running best ranking after a completed chain
     kernel-stopped      no more chains will be scheduled (reason)
@@ -37,12 +39,19 @@ campaign re-reads — and extended ``campaign-finished`` with the
 per-kernel ``chains_scheduled`` / ``chains_saved`` / ``occupancy``
 fields a cross-kernel sweep reports.
 
-Stream version 3 (this PR) adds the three recovery events
+Stream version 3 (PR 8) added the three recovery events
 (``job-retried`` / ``job-requeued`` / ``job-quarantined``): every
 decision the fault-recovery layer takes is visible in the stream, so a
 follower can tell a slow campaign from one fighting worker failures,
 and ``campaign-finished`` gains ``chains_quarantined`` when any chain
 was abandoned.
+
+Stream version 4 (this PR) adds the distributed-membership pair
+(``worker-joined`` / ``worker-left``): a campaign run over socket
+workers (``--workers`` / ``repro engine worker``) records every
+arrival and departure — with the departure's reason — so a follower
+can correlate a burst of ``job-requeued`` events with the host that
+caused them.
 
 Like the checkpoint journal, the file is append-only, flushed per
 record, and a torn trailing line (the interrupt case) is dropped on
@@ -60,13 +69,15 @@ from typing import Callable
 from repro.engine.serialize import Json, iter_jsonl, require_fields
 from repro.errors import EngineError
 
-EVENT_STREAM_VERSION = 3
+EVENT_STREAM_VERSION = 4
 
 CAMPAIGN_STARTED = "campaign-started"
 KERNEL_GRANTED = "kernel-granted"
 JOB_RETRIED = "job-retried"
 JOB_REQUEUED = "job-requeued"
 JOB_QUARANTINED = "job-quarantined"
+WORKER_JOINED = "worker-joined"
+WORKER_LEFT = "worker-left"
 CHAIN_COMPLETED = "chain-completed"
 RANKING_UPDATED = "ranking-updated"
 KERNEL_STOPPED = "kernel-stopped"
@@ -74,6 +85,7 @@ CAMPAIGN_FINISHED = "campaign-finished"
 
 EVENT_TYPES = frozenset({CAMPAIGN_STARTED, KERNEL_GRANTED,
                          JOB_RETRIED, JOB_REQUEUED, JOB_QUARANTINED,
+                         WORKER_JOINED, WORKER_LEFT,
                          CHAIN_COMPLETED, RANKING_UPDATED,
                          KERNEL_STOPPED, CAMPAIGN_FINISHED})
 
@@ -145,6 +157,11 @@ def format_event(event: ProgressEvent) -> str:
     if event.event == JOB_QUARANTINED:
         return (f"[{event.kernel}] job {data.get('job_id')} "
                 f"quarantined after {data.get('attempt')} attempts "
+                f"({data.get('reason')})")
+    if event.event == WORKER_JOINED:
+        return f"[{event.kernel}] worker {data.get('worker')} joined"
+    if event.event == WORKER_LEFT:
+        return (f"[{event.kernel}] worker {data.get('worker')} left "
                 f"({data.get('reason')})")
     if event.event == CHAIN_COMPLETED:
         return (f"[{event.kernel}] chain {data.get('job_id')} done "

@@ -1,12 +1,30 @@
 """Job executors: same-process for tests and ``jobs=1``, a
-``multiprocessing`` pool otherwise.
+``multiprocessing`` pool otherwise (and, behind ``--workers``, the
+socket coordinator in :mod:`repro.engine.remote`).
 
-Both executors speak the same submit/await protocol the cross-kernel
+Every executor speaks the same submit/await protocol the cross-kernel
 scheduler drives: :meth:`submit` enqueues a wave of jobs for one
 kernel, :meth:`next_result` blocks until some submitted job finishes
 and returns its ``(kernel, payload)`` pair. Payloads are identical
 regardless of executor — workers build them with the same code — which
 is what makes worker counts invisible in the final aggregate.
+
+The ``next_result`` contract, identical across every executor (and
+pinned for all of them by ``tests/engine/test_executor_contract.py``):
+
+* With nothing submitted and nothing owed, it raises
+  :class:`~repro.errors.EngineError` (``"next_result with no submitted
+  jobs"``) no matter what ``timeout`` is — calling it is a scheduler
+  bug, not a condition to wait out.
+* ``timeout=None`` blocks until *some* delivery is ready, however
+  long that takes. Deadline-based recovery is the caller's job: pass a
+  finite timeout to get :class:`~repro.errors.JobTimeoutError` when
+  nothing arrives in time.
+* A worker dying (or its job raising) surfaces as
+  :class:`~repro.errors.WorkerCrashError` naming the job, and counts
+  as that attempt's answer.
+* ``close()`` and ``terminate()`` are both idempotent, in either
+  order — the KeyboardInterrupt-during-shutdown case.
 
 The executor is shared by *every* kernel of a campaign sweep: contexts
 are keyed by kernel name and installed once per worker process, so an
@@ -178,14 +196,24 @@ class ProcessPoolExecutor:
             pool.join()
 
 
-Executor = SerialExecutor | ProcessPoolExecutor
-
-
 def make_executor(contexts: dict[str, CampaignContext],
-                  jobs: int) -> Executor:
-    """The right executor for a worker count (``jobs=1`` is serial)."""
+                  jobs: int, *, workers: int = 0):
+    """The right executor for a worker count (``jobs=1`` is serial).
+
+    ``workers > 0`` selects the distributed path instead: a
+    :class:`~repro.engine.remote.RemoteExecutor` coordinator that
+    spawns that many loopback worker subprocesses (the ``--workers``
+    flag; remote hosts join the same coordinator by hand).
+    """
     if jobs < 1:
         raise EngineError("jobs must be at least 1")
+    if workers > 0:
+        if jobs != 1:
+            raise EngineError(
+                "--workers replaces the local pool; use it with "
+                "jobs=1")
+        from repro.engine.remote import RemoteExecutor
+        return RemoteExecutor(contexts, spawn=workers)
     if jobs == 1:
         return SerialExecutor(contexts)
     return ProcessPoolExecutor(contexts, jobs)

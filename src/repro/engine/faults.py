@@ -286,6 +286,10 @@ class FaultInjectingExecutor:
         self._corrupt: set[tuple[str, str]] = set()
         self._dup: set[tuple[str, str]] = set()
         self._inner_outstanding = 0
+        # attempts submitted and not yet answered (stalled attempts
+        # never decrement): the executor-contract "no submitted jobs"
+        # guard must fire on the same condition as every real executor
+        self._outstanding = 0
         #: (kernel, job_id) of attempts swallowed whole — diagnostics
         #: for tests; the scheduler only ever sees the silence.
         self.stalled: list[tuple[str, str]] = []
@@ -298,6 +302,7 @@ class FaultInjectingExecutor:
             self._attempts[key] = attempt + 1
             primary, dup = self.plan.roll(job.job_id, attempt)
             added += 1
+            self._outstanding += 1
             if primary == CRASH:
                 self._pending.append((CRASH, kernel, job.job_id))
                 continue
@@ -318,11 +323,16 @@ class FaultInjectingExecutor:
             item = self._pending.popleft()
             if item[0] == CRASH:
                 _kind, kernel, job_id = item
+                self._outstanding -= 1
                 raise WorkerCrashError(
                     f"injected worker crash running {job_id}",
                     kernel=kernel, job_id=job_id)
+            # a duplicated completion is a bonus delivery on top of
+            # the attempt already answered — no outstanding change
             _kind, kernel, payload = item
             return kernel, payload
+        if self._outstanding < 1:
+            raise EngineError("next_result with no submitted jobs")
         if self._inner_outstanding < 1:
             # everything still outstanding was stalled: the worker is
             # silent, so only the caller's deadline can make progress
@@ -333,8 +343,16 @@ class FaultInjectingExecutor:
             time.sleep(min(timeout, 0.05))
             raise JobTimeoutError(
                 "no result within the deadline (stalled worker)")
-        kernel, payload = self.inner.next_result(timeout=timeout)
+        try:
+            kernel, payload = self.inner.next_result(timeout=timeout)
+        except WorkerCrashError:
+            # a *genuine* crash from the inner executor (a dead remote
+            # worker, say) also answers one submitted attempt
+            self._inner_outstanding -= 1
+            self._outstanding -= 1
+            raise
         self._inner_outstanding -= 1
+        self._outstanding -= 1
         job_id = payload.get("job_id") if isinstance(payload, dict) \
             else None
         key = (kernel, job_id)
@@ -346,6 +364,24 @@ class FaultInjectingExecutor:
             payload = {name: value for name, value in payload.items()
                        if name != _CORRUPT_FIELD}
         return kernel, payload
+
+    # -- distributed pass-throughs --------------------------------------------
+    # The wrapper is transparent to the driver's worker-membership
+    # observability: when it sits over a RemoteExecutor, worker ids,
+    # join/leave notices, and per-worker stats flow through untouched
+    # (and degrade to empty over executors that have none).
+
+    @property
+    def last_worker_id(self):
+        return getattr(self.inner, "last_worker_id", None)
+
+    def drain_notices(self) -> list[tuple]:
+        drain = getattr(self.inner, "drain_notices", None)
+        return drain() if drain is not None else []
+
+    def worker_stats(self) -> dict[str, int]:
+        stats = getattr(self.inner, "worker_stats", None)
+        return stats() if stats is not None else {}
 
     def close(self) -> None:
         self.inner.close()

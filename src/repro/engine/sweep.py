@@ -46,7 +46,8 @@ from repro.engine.events import (CAMPAIGN_FINISHED, CAMPAIGN_STARTED,
                                  CHAIN_COMPLETED, EventLog,
                                  JOB_QUARANTINED, JOB_REQUEUED,
                                  JOB_RETRIED, KERNEL_GRANTED,
-                                 KERNEL_STOPPED, RANKING_UPDATED)
+                                 KERNEL_STOPPED, RANKING_UPDATED,
+                                 WORKER_JOINED, WORKER_LEFT)
 from repro.engine.executor import make_executor
 from repro.engine.faults import FaultInjectingExecutor
 from repro.engine.jobs import (ChainJob, JobResult, payload_problem,
@@ -173,6 +174,9 @@ class KernelSchedule:
         self._latency_total = 0.0
         self._latency_max = 0.0
         self._occupancy = Series()
+        # distributed runs only: chains delivered per remote worker
+        # (runtime diagnostics, like every other wall-clock number)
+        self._worker_counts: dict[str, int] = {}
 
     # -- driver protocol ------------------------------------------------------
 
@@ -260,6 +264,24 @@ class KernelSchedule:
         self._in_flight.discard(job.job_id)
         self._granted_at.pop(job.job_id, None)
         self._sample_occupancy()
+
+    def note_worker(self, worker_id: str | None) -> None:
+        """Credit one delivered chain to a remote worker (None for
+        local executors, which have no worker identities)."""
+        if worker_id is None:
+            return
+        self._worker_counts[worker_id] = \
+            self._worker_counts.get(worker_id, 0) + 1
+
+    def note_membership(self, notices: list[tuple]) -> None:
+        """Stream worker joins/leaves as progress events (v4)."""
+        for notice in notices:
+            if notice[0] == "joined":
+                self.events.emit(WORKER_JOINED, self.name,
+                                 worker=notice[1])
+            else:
+                self.events.emit(WORKER_LEFT, self.name,
+                                 worker=notice[1], reason=notice[2])
 
     def note_duplicate(self, job_id: str) -> None:
         """Count one duplicate completion (first-wins dedup kept the
@@ -580,6 +602,11 @@ class KernelSchedule:
             # execution, not of the (deterministic) search
             "recovery": dict(self.recovery_counts),
         }
+        if self._worker_counts:
+            # which remote worker delivered which chains is the very
+            # definition of runtime state — any other placement would
+            # break worker-count invisibility of the deterministic doc
+            runtime["workers"] = dict(self._worker_counts)
         self.metrics.record_campaign(
             self.name, merged.deterministic_json(), runtime)
 
@@ -599,7 +626,9 @@ class _InFlight:
 
 
 def run_campaigns(campaigns: list[Campaign], *,
-                  clock: Clock = time.perf_counter) \
+                  clock: Clock = time.perf_counter,
+                  executor_factory: Callable[
+                      [dict[str, CampaignContext]], object] | None = None) \
         -> list[StokeResult]:
     """Run any number of campaigns over one shared worker pool.
 
@@ -610,6 +639,15 @@ def run_campaigns(campaigns: list[Campaign], *,
     instead of serializing behind them. Results return in input
     order; every campaign must share one worker count, and kernel
     names must be unique (they key the shared pool's contexts).
+
+    ``executor_factory`` overrides executor selection: it receives the
+    per-kernel contexts and returns any object speaking the
+    submit/next_result protocol — the seam tests and embedders use to
+    run a sweep over, say, a hand-configured
+    :class:`~repro.engine.remote.RemoteExecutor`. Fault injection
+    (``--faults``) still wraps whatever the factory returns. Without a
+    factory, ``EngineOptions.workers > 0`` selects the distributed
+    coordinator and spawns that many loopback workers.
 
     The driver is also the recovery layer: every granted job carries
     a per-attempt deadline (``--job-timeout``, capped exponential
@@ -630,6 +668,14 @@ def run_campaigns(campaigns: list[Campaign], *,
         if campaign.options.jobs != jobs:
             raise EngineError(
                 "all campaigns in one sweep must share a worker count")
+    workers = campaigns[0].options.workers
+    for campaign in campaigns:
+        if campaign.options.workers != workers:
+            # one sweep runs over one executor; half the kernels
+            # cannot be distributed while the rest stay local
+            raise EngineError(
+                "all campaigns in one sweep must share a --workers "
+                "count")
     policy = campaigns[0].options.retry_policy
     for campaign in campaigns:
         if campaign.options.retry_policy != policy:
@@ -667,9 +713,11 @@ def run_campaigns(campaigns: list[Campaign], *,
     schedules = [KernelSchedule(campaign, clock=clock)
                  for campaign in campaigns]
     by_name = {schedule.name: schedule for schedule in schedules}
-    executor = make_executor(
-        {schedule.name: schedule.context for schedule in schedules},
-        jobs)
+    contexts = {schedule.name: schedule.context
+                for schedule in schedules}
+    executor = (executor_factory(contexts)
+                if executor_factory is not None
+                else make_executor(contexts, jobs, workers=workers))
     if faults is not None and faults.active:
         executor = FaultInjectingExecutor(executor, faults)
     start = clock()
@@ -701,6 +749,18 @@ def run_campaigns(campaigns: list[Campaign], *,
         flight.attempt = attempts
         flight.deadline = policy.deadline(clock(), attempts)
         executor.submit(flight.kernel, [flight.job])
+
+    def sync_membership() -> None:
+        """Stream any worker joins/leaves the executor observed while
+        we waited (local executors have no membership to report)."""
+        drain = getattr(executor, "drain_notices", None)
+        if drain is None:
+            return
+        notices = drain()
+        if not notices:
+            return
+        for schedule in schedules:
+            schedule.note_membership(notices)
 
     try:
         for schedule in schedules:
@@ -740,10 +800,19 @@ def run_campaigns(campaigns: list[Campaign], *,
                 continue
             except WorkerCrashError as exc:
                 key = (exc.kernel, exc.job_id)
-                if exc.job_id is None or key not in tracked:
+                if exc.job_id is None or exc.kernel not in by_name:
                     raise          # pool-level failure: unrecoverable
+                if key not in tracked:
+                    # a re-granted job's original worker failing after
+                    # its replacement (or a quarantine) already
+                    # settled the job: late bad news about banked
+                    # work, counted and dropped like a stale result
+                    by_name[exc.kernel].note_stale(exc.job_id)
+                    continue
                 fail_attempt(key, str(exc), requeue=False)
                 continue
+            finally:
+                sync_membership()
             job_id = (payload.get("job_id")
                       if isinstance(payload, dict) else None)
             key = (kernel, job_id)
@@ -761,6 +830,8 @@ def run_campaigns(campaigns: list[Campaign], *,
             if key in tracked:
                 del tracked[key]
                 schedule.complete(payload)
+                schedule.note_worker(
+                    getattr(executor, "last_worker_id", None))
             elif job_id in schedule.completed:
                 # duplicate completion: first-wins — the journaled
                 # result stands, the copy is counted and dropped

@@ -152,6 +152,21 @@ class CorruptPayloadError(EngineError):
         super().__init__(message)
 
 
+class TransportError(EngineError):
+    """Raised for distributed-transport failures: a coordinator that
+    cannot bind, a worker that cannot connect, a wire-version mismatch,
+    or a frame torn mid-stream.
+
+    Transport failures are environmental, not search failures — the
+    checkpoint journal still holds everything completed so far, so a
+    supervisor seeing exit code 7 can restart the campaign with
+    ``--resume`` (or restart the worker) without suspecting the run
+    directory.
+    """
+
+    exit_code = 7
+
+
 class MinimizeError(ReproError):
     """Raised when a rewrite cannot be minimized.
 

@@ -167,6 +167,16 @@ def occupancy_lines(document: Json) -> list[str]:
             f"{recovery.get('quarantined', 0)} quarantined, "
             f"{recovery.get('duplicates', 0)} duplicates dropped, "
             f"{recovery.get('stale', 0)} stale results ignored")
+    workers = runtime.get("workers", {})
+    if workers:
+        # distributed runs only: which remote worker delivered how
+        # many chains (worker identity is runtime state — the
+        # deterministic sections are worker-count invisible)
+        total = sum(workers.values())
+        shares = ", ".join(
+            f"{name} {count} ({100 * count / total:.0f}%)"
+            for name, count in sorted(workers.items()))
+        lines.append(f"  workers: {len(workers)} over TCP — {shares}")
     if not lines:
         lines.append("  (no scheduler runtime recorded yet)")
     return lines

@@ -15,7 +15,8 @@ from pathlib import Path
 import pytest
 
 REPO = Path(__file__).resolve().parents[2]
-DOCUMENTS = ("README.md", "docs/ARCHITECTURE.md", "docs/FAULTS.md",
+DOCUMENTS = ("README.md", "docs/ARCHITECTURE.md",
+             "docs/DISTRIBUTED.md", "docs/FAULTS.md",
              "docs/MINIMIZE.md", "docs/SPEC_GRAMMAR.md",
              "docs/TELEMETRY.md")
 

@@ -28,7 +28,8 @@ from repro.engine.jobs import ChainJob, payload_problem
 from repro.engine.sweep import run_campaigns
 from repro.errors import (CorruptPayloadError, EngineError,
                           JobTimeoutError, RegistryError,
-                          StaleGrantError, WorkerCrashError)
+                          StaleGrantError, TransportError,
+                          WorkerCrashError)
 from repro.search.config import SearchConfig
 from repro.suite.registry import benchmark
 from repro.telemetry import load_document
@@ -289,8 +290,9 @@ def test_manifest_fingerprints_the_retry_policy(tmp_path):
                              job_timeout=4.0))
     manifest = json.loads(
         (tmp_path / "p01" / "manifest.json").read_text())
-    assert manifest["version"] == 7
+    assert manifest["version"] == 8
     assert manifest["retry"] == "retries=2,timeout=4"
+    assert manifest["transport"] == "local"
     with pytest.raises(EngineError, match="differs in retry"):
         run_campaigns(_campaigns(1, base_dir=tmp_path, retries=3,
                                  job_timeout=4.0, resume=True))
@@ -457,7 +459,8 @@ def test_interrupted_sweep_resumes_cleanly(tmp_path):
 
 def test_error_exit_codes_are_distinct():
     codes = {EngineError: 2, WorkerCrashError: 3, JobTimeoutError: 4,
-             StaleGrantError: 5, CorruptPayloadError: 6}
+             StaleGrantError: 5, CorruptPayloadError: 6,
+             TransportError: 7}
     for cls, code in codes.items():
         assert cls.exit_code == code
 
